@@ -1,0 +1,10 @@
+//! Baseline escape analyses for the paper's table 3 comparison.
+//!
+//! | Analysis | Complexity | Omitted dataflow |
+//! |---|---|---|
+//! | [`fast`] | O(N) | all dereference-level flow |
+//! | Go escape graph (the main crate) | O(N²) | indirect stores |
+//! | [`conn`] | O(N³) | none |
+
+pub mod conn;
+pub mod fast;

@@ -1,0 +1,409 @@
+//! The escape graph (definitions 4.1–4.5 of the paper).
+//!
+//! A directed weighted graph whose vertices ("locations") represent storage
+//! and whose edges represent data flow. Edge weights are dereference counts
+//! (`Derefs`, definition 4.5): `-1` for address-of flow, `0` for value flow,
+//! `+1` for a load through a pointer (table 2).
+
+use std::fmt;
+
+use minigo_syntax::{ExprId, FreeKind, VarId};
+
+/// Identifies a location (vertex) within one function's escape graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// The id as a plain index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What a location stands for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocKind {
+    /// The global dummy heap location (`heapLoc` in the paper).
+    HeapDummy,
+    /// The per-function dummy return location.
+    ReturnDummy,
+    /// A named variable (parameter, result, or local).
+    Var(VarId),
+    /// An allocation site: the storage created by `make`, `new`, `&T{..}`.
+    Alloc(ExprId, AllocKind),
+    /// A dummy content location summarizing runtime-managed allocation:
+    /// slice append growth, map bucket growth, or a callee's returned
+    /// allocations (the content tags of §4.4).
+    Content(ContentOrigin),
+    /// A synthesized temporary holding an intermediate value (call
+    /// arguments, complex lvalue bases).
+    Temp(ExprId),
+}
+
+/// What kind of object an allocation site creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// The backing array of `make([]T, ..)`.
+    SliceArray,
+    /// The hmap + initial buckets of `make(map[K]V)`.
+    MapBuckets,
+    /// The object of `new(T)` or `&T{..}`.
+    Object,
+}
+
+impl AllocKind {
+    /// The `tcfree` variant that frees objects of this kind.
+    pub fn free_kind(self) -> FreeKind {
+        match self {
+            AllocKind::SliceArray => FreeKind::Slice,
+            AllocKind::MapBuckets => FreeKind::Map,
+            AllocKind::Object => FreeKind::Pointer,
+        }
+    }
+}
+
+/// Where a content dummy location came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentOrigin {
+    /// Possible implicit allocation by `append` (§4.6.1).
+    SliceAppend(ExprId),
+    /// Possible bucket growth at a map store (§4.6.2); carries the id of
+    /// the indexing expression.
+    MapGrowth(ExprId),
+    /// Content tag of result `index` at a call site (§4.4).
+    CallResult(ExprId, usize),
+}
+
+/// A directed weighted edge (definition 4.4/4.5). `src`'s value, address, or
+/// dereference flows into `dst`, with `derefs` counting the dereference
+/// offset (table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source location.
+    pub src: LocId,
+    /// Destination location.
+    pub dst: LocId,
+    /// Dereference count: -1 address-of, 0 value, +1 load.
+    pub derefs: i32,
+}
+
+/// Per-location solved properties (table 1) plus bookkeeping flags.
+#[derive(Debug, Clone)]
+pub struct Location {
+    /// What this location stands for.
+    pub kind: LocKind,
+    /// A printable name for debugging and experiment output.
+    pub name: String,
+    /// `LoopDepth` (definition 4.3). Dummies use -1.
+    pub loop_depth: i32,
+    /// `DeclDepth` (definition 4.13). Dummies use -1.
+    pub decl_depth: i32,
+    /// Whether the location's type can reach pointers; `Exposes` and
+    /// `Incomplete` are only tracked for pointerful locations (§4.2).
+    pub pointerful: bool,
+
+    // ---- solved properties (table 1) ----
+    /// `HeapAlloc` (definition 4.10).
+    pub heap_alloc: bool,
+    /// `Exposes` (definition 4.11).
+    pub exposes: bool,
+    /// `Incomplete` (definition 4.12).
+    pub incomplete: bool,
+    /// The part of `Incomplete` that originates from indirect stores (rule
+    /// b via `Exposes`), *excluding* the conservative formal-parameter seed
+    /// (rule a). This is what a function's extended parameter tag exports
+    /// as the content tag's incompleteness (§4.4's third rule): the
+    /// caller re-derives parameter-related incompleteness from its own
+    /// arguments, but indirect stores inside the callee "must be recorded
+    /// for safety".
+    pub incomplete_internal: bool,
+    /// `OutermostRef` (definition 4.14). Starts at `decl_depth` and only
+    /// decreases.
+    pub outermost_ref: i32,
+    /// `Outlived` (definition 4.15).
+    pub outlived: bool,
+    /// `PointsToHeap` (definition 4.16).
+    pub points_to_heap: bool,
+
+    /// Banned from freeing: passed to `defer`/`panic` (§5) or otherwise
+    /// excluded.
+    pub pinned: bool,
+}
+
+impl Location {
+    /// `ToFree` (definition 4.17): qualified for explicit deallocation.
+    pub fn to_free(&self) -> bool {
+        !self.incomplete && !self.outlived && self.points_to_heap && !self.pinned
+    }
+}
+
+/// One function's escape graph: locations, edges, and adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct EscapeGraph {
+    locs: Vec<Location>,
+    edges: Vec<Edge>,
+    /// Incoming edge indices per location (the solver walks reverse edges).
+    incoming: Vec<Vec<u32>>,
+}
+
+/// The conventional id of the `heapLoc` dummy: always the first location.
+pub const HEAP_LOC: LocId = LocId(0);
+
+impl EscapeGraph {
+    /// Creates a graph containing only the `heapLoc` dummy.
+    pub fn new() -> Self {
+        let mut g = EscapeGraph::default();
+        let heap = g.add_location(LocKind::HeapDummy, "heapLoc", -1, -1, true);
+        debug_assert_eq!(heap, HEAP_LOC);
+        g.locs[heap.index()].heap_alloc = true;
+        // Exposes(heapLoc) = true (definition 4.11): anything escaping into
+        // the heap may be stored through elsewhere.
+        g.locs[heap.index()].exposes = true;
+        g
+    }
+
+    /// Adds a location and returns its id.
+    pub fn add_location(
+        &mut self,
+        kind: LocKind,
+        name: impl Into<String>,
+        loop_depth: i32,
+        decl_depth: i32,
+        pointerful: bool,
+    ) -> LocId {
+        let id = LocId(self.locs.len() as u32);
+        self.locs.push(Location {
+            kind,
+            name: name.into(),
+            loop_depth,
+            decl_depth,
+            pointerful,
+            heap_alloc: false,
+            exposes: false,
+            incomplete: false,
+            incomplete_internal: false,
+            outermost_ref: decl_depth,
+            outlived: false,
+            points_to_heap: false,
+            pinned: false,
+        });
+        self.incoming.push(Vec::new());
+        id
+    }
+
+    /// Adds edge `src --derefs--> dst`. Self-edges with weight 0 are
+    /// meaningless and dropped.
+    pub fn add_edge(&mut self, src: LocId, dst: LocId, derefs: i32) {
+        if src == dst && derefs == 0 {
+            return;
+        }
+        debug_assert!(derefs >= -1, "Derefs(e) >= -1 always holds");
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge { src, dst, derefs });
+        self.incoming[dst.index()].push(idx);
+    }
+
+    /// The location for an id.
+    pub fn loc(&self, id: LocId) -> &Location {
+        &self.locs[id.index()]
+    }
+
+    /// Mutable access to a location.
+    pub fn loc_mut(&mut self, id: LocId) -> &mut Location {
+        &mut self.locs[id.index()]
+    }
+
+    /// All locations, indexable by [`LocId::index`].
+    pub fn locations(&self) -> &[Location] {
+        &self.locs
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Whether the graph has only the heap dummy.
+    pub fn is_empty(&self) -> bool {
+        self.locs.len() <= 1
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Incoming edges of `dst` (for reverse walks).
+    pub fn incoming(&self, dst: LocId) -> impl Iterator<Item = Edge> + '_ {
+        self.incoming[dst.index()].iter().map(|&i| self.edges[i as usize])
+    }
+
+    /// Iterates all location ids.
+    pub fn ids(&self) -> impl Iterator<Item = LocId> {
+        (0..self.locs.len() as u32).map(LocId)
+    }
+
+    /// Finds the location of a variable, if present.
+    pub fn var_loc(&self, var: VarId) -> Option<LocId> {
+        self.ids()
+            .find(|id| matches!(self.loc(*id).kind, LocKind::Var(v) if v == var))
+    }
+
+    /// Renders the escape graph as Graphviz DOT, coloring heap-allocated
+    /// locations green and stack locations blue like the paper's fig. 1.
+    /// Dummy locations are drawn as diamonds; edges are labeled with their
+    /// `Derefs` weight.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{title}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+        for id in self.ids() {
+            let l = self.loc(id);
+            let shape = match l.kind {
+                LocKind::HeapDummy | LocKind::ReturnDummy => "diamond",
+                LocKind::Content(_) => "ellipse",
+                _ => "box",
+            };
+            let color = if l.heap_alloc { "palegreen" } else { "lightblue" };
+            let mut flags = String::new();
+            if l.exposes {
+                flags.push_str("\\nExposes");
+            }
+            if l.incomplete {
+                flags.push_str("\\nIncomplete");
+            }
+            if l.outlived {
+                flags.push_str("\\nOutlived");
+            }
+            if l.to_free() && !matches!(l.kind, LocKind::HeapDummy | LocKind::ReturnDummy) {
+                flags.push_str("\\nToFree");
+            }
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}{}\" shape={} style=filled fillcolor={}];",
+                id.0, l.name, flags, shape, color
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.src.0, e.dst.0, e.derefs
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the graph in a stable, human-readable form (tests and the
+    /// table 3 experiment use this).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for id in self.ids() {
+            let l = self.loc(id);
+            let _ = writeln!(
+                out,
+                "{id} {} ld={} dd={}{}{}{}{}{}{}",
+                l.name,
+                l.loop_depth,
+                l.decl_depth,
+                if l.heap_alloc { " heap" } else { "" },
+                if l.exposes { " exposes" } else { "" },
+                if l.incomplete { " incomplete" } else { "" },
+                if l.outlived { " outlived" } else { "" },
+                if l.points_to_heap { " ptsheap" } else { "" },
+                if l.pinned { " pinned" } else { "" },
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "{} -{}-> {}", e.src, e.derefs, e.dst);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_dummy_is_first_and_marked() {
+        let g = EscapeGraph::new();
+        assert_eq!(g.len(), 1);
+        assert!(g.loc(HEAP_LOC).heap_alloc);
+        assert!(g.loc(HEAP_LOC).exposes);
+        assert_eq!(g.loc(HEAP_LOC).decl_depth, -1);
+    }
+
+    #[test]
+    fn edges_index_incoming() {
+        let mut g = EscapeGraph::new();
+        let a = g.add_location(LocKind::Var(VarId(0)), "a", 0, 1, true);
+        let b = g.add_location(LocKind::Var(VarId(1)), "b", 0, 1, true);
+        g.add_edge(a, b, -1);
+        g.add_edge(HEAP_LOC, b, 0);
+        let incoming: Vec<_> = g.incoming(b).collect();
+        assert_eq!(incoming.len(), 2);
+        assert_eq!(incoming[0].src, a);
+        assert_eq!(incoming[0].derefs, -1);
+    }
+
+    #[test]
+    fn zero_weight_self_edges_dropped() {
+        let mut g = EscapeGraph::new();
+        let a = g.add_location(LocKind::Var(VarId(0)), "a", 0, 1, true);
+        g.add_edge(a, a, 0);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn to_free_requires_all_three_conditions() {
+        let mut g = EscapeGraph::new();
+        let a = g.add_location(LocKind::Var(VarId(0)), "a", 0, 1, true);
+        assert!(!g.loc(a).to_free(), "needs PointsToHeap");
+        g.loc_mut(a).points_to_heap = true;
+        assert!(g.loc(a).to_free());
+        g.loc_mut(a).incomplete = true;
+        assert!(!g.loc(a).to_free());
+        g.loc_mut(a).incomplete = false;
+        g.loc_mut(a).outlived = true;
+        assert!(!g.loc(a).to_free());
+        g.loc_mut(a).outlived = false;
+        g.loc_mut(a).pinned = true;
+        assert!(!g.loc(a).to_free());
+    }
+
+    #[test]
+    fn alloc_kind_maps_to_free_kind() {
+        assert_eq!(AllocKind::SliceArray.free_kind(), FreeKind::Slice);
+        assert_eq!(AllocKind::MapBuckets.free_kind(), FreeKind::Map);
+        assert_eq!(AllocKind::Object.free_kind(), FreeKind::Pointer);
+    }
+
+    #[test]
+    fn var_loc_lookup() {
+        let mut g = EscapeGraph::new();
+        let a = g.add_location(LocKind::Var(VarId(7)), "a", 0, 1, true);
+        assert_eq!(g.var_loc(VarId(7)), Some(a));
+        assert_eq!(g.var_loc(VarId(8)), None);
+    }
+
+    #[test]
+    fn dump_contains_names_and_edges() {
+        let mut g = EscapeGraph::new();
+        let a = g.add_location(LocKind::Var(VarId(0)), "alpha", 0, 1, true);
+        g.add_edge(a, HEAP_LOC, 0);
+        let d = g.dump();
+        assert!(d.contains("alpha"));
+        assert!(d.contains("-0-> L0"));
+    }
+}

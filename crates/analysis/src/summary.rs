@@ -1,0 +1,134 @@
+//! Function summaries: Go's parameter tags extended with GoFree's content
+//! tags (§4.4 of the paper).
+//!
+//! A summary is a compressed escape graph: a bipartite graph with weighted
+//! edges from parameters to results (or to the heap), plus per-result
+//! content-tag information describing what the result values point to —
+//! whether the callee's returned allocations are heap objects worth freeing
+//! (`HeapAlloc(m) = PointsToHeap(l)`) and whether their points-to sets are
+//! complete (`Incomplete(l) = Incomplete(m)`).
+
+/// Destination of a summary edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryDst {
+    /// Flows into result `j`.
+    Result(usize),
+    /// Escapes to the heap.
+    Heap,
+}
+
+/// One compressed dataflow edge: parameter `param` flows to `dst` with
+/// `derefs` dereference count (taken from `MinDerefs` on the full graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryEdge {
+    /// Parameter index.
+    pub param: usize,
+    /// Where it flows.
+    pub dst: SummaryDst,
+    /// Dereference count.
+    pub derefs: i32,
+}
+
+/// The extended parameter tag of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSummary {
+    /// Number of parameters.
+    pub params: usize,
+    /// Number of results.
+    pub results: usize,
+    /// Compressed parameter→result / parameter→heap edges.
+    pub edges: Vec<SummaryEdge>,
+    /// Per-result content tag: does the result point at heap allocations
+    /// made by the callee (worth freeing in the caller)?
+    pub result_heap: Vec<bool>,
+    /// Per-result content tag: is the result's points-to set incomplete due
+    /// to indirect stores *inside* the callee?
+    pub result_incomplete: Vec<bool>,
+    /// Per-parameter: does the callee (or its callees) store indirectly
+    /// through values derived from this parameter, exposing the argument's
+    /// referents to untracked modification?
+    pub param_exposes: Vec<bool>,
+    /// False for the conservative default tag used at unknown call sites
+    /// (recursion, SCC members).
+    pub known: bool,
+}
+
+impl FuncSummary {
+    /// The conservative default tag (§4.4): "all parameters flow to the
+    /// heap and all return values come from the heap".
+    pub fn default_tag(params: usize, results: usize) -> Self {
+        FuncSummary {
+            params,
+            results,
+            edges: (0..params)
+                .map(|i| SummaryEdge {
+                    param: i,
+                    dst: SummaryDst::Heap,
+                    derefs: 0,
+                })
+                .collect(),
+            result_heap: vec![true; results],
+            result_incomplete: vec![true; results],
+            param_exposes: vec![true; params],
+            known: false,
+        }
+    }
+
+    /// Edges flowing into result `j`.
+    pub fn edges_to_result(&self, j: usize) -> impl Iterator<Item = SummaryEdge> + '_ {
+        self.edges
+            .iter()
+            .copied()
+            .filter(move |e| e.dst == SummaryDst::Result(j))
+    }
+
+    /// Edges escaping to the heap.
+    pub fn heap_edges(&self) -> impl Iterator<Item = SummaryEdge> + '_ {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| e.dst == SummaryDst::Heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tag_is_fully_conservative() {
+        let tag = FuncSummary::default_tag(2, 3);
+        assert!(!tag.known);
+        assert_eq!(tag.heap_edges().count(), 2);
+        assert!(tag.result_heap.iter().all(|&b| b));
+        assert!(tag.result_incomplete.iter().all(|&b| b));
+        assert!(tag.param_exposes.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn edge_filters() {
+        let tag = FuncSummary {
+            params: 2,
+            results: 2,
+            edges: vec![
+                SummaryEdge {
+                    param: 0,
+                    dst: SummaryDst::Result(1),
+                    derefs: 0,
+                },
+                SummaryEdge {
+                    param: 1,
+                    dst: SummaryDst::Heap,
+                    derefs: 1,
+                },
+            ],
+            result_heap: vec![true, false],
+            result_incomplete: vec![false, false],
+            param_exposes: vec![false, true],
+            known: true,
+        };
+        assert_eq!(tag.edges_to_result(1).count(), 1);
+        assert_eq!(tag.edges_to_result(0).count(), 0);
+        assert_eq!(tag.heap_edges().count(), 1);
+    }
+}

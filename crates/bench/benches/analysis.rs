@@ -1,0 +1,78 @@
+//! Criterion benches for the static analyses: the §6.7 compilation-speed
+//! claim (GoFree's analysis adds no observable cost to Go's) and the
+//! complexity comparison of §2.1.2 (fast O(N) / escape graph O(N²) /
+//! connection graph O(N³)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gofree::{compile, CompileOptions};
+use gofree_workloads::corpus;
+use minigo_escape::baseline::{conn, fast};
+use minigo_syntax::frontend;
+
+/// Go-vs-GoFree compile time across corpus sizes.
+fn bench_compile_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_speed");
+    group.sample_size(12);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [40usize, 160] {
+        let src = corpus::generate(n);
+        group.bench_with_input(BenchmarkId::new("go", n), &src, |b, src| {
+            b.iter(|| compile(src, &CompileOptions::go()).expect("compiles"));
+        });
+        group.bench_with_input(BenchmarkId::new("gofree", n), &src, |b, src| {
+            b.iter(|| compile(src, &CompileOptions::default()).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+/// Generates one function whose points-to sets are O(k) wide: a hub
+/// pointer that may reference every variable, plus k indirect stores
+/// through it. Each store makes the connection graph propagate into O(k)
+/// pointees — the O(N³) behaviour §2.1.2 describes — while the escape
+/// graph replaces all of it with a single `heapLoc` edge.
+fn big_function(k: usize) -> String {
+    let mut body = String::from("func big(n int) int {\n");
+    for i in 0..k {
+        body.push_str(&format!("    x{i} := n + {i}\n"));
+    }
+    body.push_str("    hub := &x0\n");
+    for i in 1..k {
+        body.push_str(&format!("    hub = &x{i}\n"));
+    }
+    for i in 0..k {
+        body.push_str(&format!("    *hub = x{i}\n"));
+    }
+    body.push_str("    d := *hub\n    return d\n}\nfunc main() { print(big(1)) }\n");
+    body
+}
+
+/// The three analyses on one function of growing size.
+fn bench_analysis_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [50usize, 200] {
+        let src = big_function(k);
+        let (program, res, types) = frontend(&src).expect("compiles");
+        let func = program.func("big").expect("big").clone();
+        group.bench_with_input(BenchmarkId::new("fast", k), &(), |b, ()| {
+            b.iter(|| fast::analyze_func(&program, &res, &types, &func));
+        });
+        let src2 = src.clone();
+        group.bench_with_input(BenchmarkId::new("escape_graph", k), &src2, |b, src| {
+            b.iter(|| compile(src, &CompileOptions::default()).expect("compiles"));
+        });
+        group.bench_with_input(BenchmarkId::new("conn_graph", k), &(), |b, ()| {
+            b.iter(|| conn::analyze_func(&program, &res, &types, &func));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_speed, bench_analysis_scaling);
+criterion_main!(benches);

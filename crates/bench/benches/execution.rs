@@ -1,0 +1,50 @@
+//! Criterion benches for end-to-end workload execution under the three
+//! settings — the wall-clock cousin of the virtual-time table 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gofree::{compile, execute, RunConfig, Setting};
+use gofree_workloads::Scale;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_execution");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let cfg = RunConfig {
+        min_heap: 64 * 1024,
+        ..RunConfig::default()
+    };
+    for name in ["json", "scheck"] {
+        let w = gofree_workloads::by_name(name, Scale::Test).expect("workload");
+        for setting in [Setting::Go, Setting::GoFree] {
+            let compiled = compile(&w.source, &setting.compile_options()).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{setting}"), name),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| execute(compiled, setting, &cfg).expect("runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_microbenchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_micro");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let cfg = RunConfig::deterministic(1);
+    for &cval in &[1u64, 16] {
+        let src = gofree_workloads::micro::source(cval, 64);
+        let compiled = compile(&src, &Setting::GoFree.compile_options()).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("gofree", cval), &compiled, |b, compiled| {
+            b.iter(|| execute(compiled, Setting::GoFree, &cfg).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_microbenchmark);
+criterion_main!(benches);

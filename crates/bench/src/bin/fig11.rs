@@ -1,0 +1,66 @@
+//! Regenerates fig. 11: the run-time distribution across N runs under the
+//! three settings (GoFree, Go, Go-GCOff), shown as a text histogram.
+
+use gofree::{distribution, Setting};
+use gofree_bench::{eval_run_config, run_three_settings, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
+    println!(
+        "Fig. 11: run-time distribution, {} runs per setting (workload: json analogue)\n",
+        opts.runs
+    );
+    let (go, gofree, gcoff) = run_three_settings(&w.source, opts.runs, &eval_run_config());
+    let dists = [
+        distribution(Setting::GoFree.to_string(), &gofree),
+        distribution(Setting::Go.to_string(), &go),
+        distribution(Setting::GoGcOff.to_string(), &gcoff),
+    ];
+
+    let lo = dists.iter().map(|d| d.min).fold(f64::INFINITY, f64::min);
+    let hi = dists
+        .iter()
+        .map(|d| d.max)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let bins = 24usize;
+    let width = ((hi - lo) / bins as f64).max(1.0);
+
+    for d in &dists {
+        println!(
+            "{:<8} mean {:>12.0}  stdev {:>9.0}  min {:>12.0}  max {:>12.0}",
+            d.label, d.mean, d.stdev, d.min, d.max
+        );
+        let mut hist = vec![0usize; bins];
+        for &s in &d.samples {
+            let b = (((s - lo) / width) as usize).min(bins - 1);
+            hist[b] += 1;
+        }
+        let peak = hist.iter().copied().max().unwrap_or(1).max(1);
+        print!("         |");
+        for h in &hist {
+            let ch = match (h * 8) / peak {
+                0 if *h == 0 => ' ',
+                0 => '.',
+                1 => ':',
+                2 | 3 => '+',
+                4 | 5 => '#',
+                _ => '@',
+            };
+            print!("{ch}");
+        }
+        println!("|");
+    }
+    println!(
+        "\n(ticks {lo:.0}..{hi:.0}; expected shape: GCOff fastest, GoFree between GCOff and Go, Go slowest)"
+    );
+    let mean = |d: &gofree::Distribution| d.mean;
+    if mean(&dists[2]) <= mean(&dists[0]) && mean(&dists[0]) <= mean(&dists[1]) {
+        println!("Ordering GCOff <= GoFree <= Go holds on the means.");
+    } else {
+        println!(
+            "Note: the strict GCOff <= GoFree <= Go ordering did not hold at this \
+             scale (expected at --quick; run at full scale for the paper's shape)."
+        );
+    }
+}

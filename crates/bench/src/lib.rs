@@ -1,0 +1,152 @@
+//! # gofree-bench
+//!
+//! The benchmark harness regenerating every table and figure in the
+//! GoFree paper's evaluation (§6). Each experiment is a binary:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table3` | points-to sets across the three analyses (§4.2) |
+//! | `table7` | real-world performance ratios with p-values (§6.4) |
+//! | `table8` | stack/heap decisions + tcfree shares (§6.5) |
+//! | `table9` | contribution breakdown (§6.6) |
+//! | `fig10` | map microbenchmark size sweep (§6.3) |
+//! | `fig11` | run-time distributions across 99 runs (§6.4) |
+//! | `compile_speed` | compilation-speed comparison (§6.7) |
+//! | `robustness` | mock-tcfree memory-corruption check (§6.8) |
+//! | `ablation` | design-choice ablations from DESIGN.md |
+//!
+//! Criterion benches under `benches/` time the analyses and the runtime
+//! primitives themselves.
+
+use gofree::{RunConfig, Setting};
+
+/// Common command-line options for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Runs per setting (the paper uses 99).
+    pub runs: u64,
+    /// Use the quick test scale instead of the full evaluation scale.
+    pub quick: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            runs: 99,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--runs N` and `--quick` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--runs" | "-r" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.runs = n;
+                    }
+                }
+                "--quick" | "-q" => {
+                    opts.quick = true;
+                    if opts.runs == 99 {
+                        opts.runs = 9;
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --runs N (default 99), --quick");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown option {other}"),
+            }
+        }
+        opts
+    }
+
+    /// The workload scale matching `quick`.
+    pub fn scale(&self) -> gofree_workloads::Scale {
+        if self.quick {
+            gofree_workloads::Scale::Test
+        } else {
+            gofree_workloads::Scale::Full
+        }
+    }
+}
+
+/// The run configuration the evaluation uses (tighter GC trigger than the
+/// library default so every workload exercises the collector).
+pub fn eval_run_config() -> RunConfig {
+    RunConfig {
+        min_heap: 128 * 1024,
+        ..RunConfig::default()
+    }
+}
+
+/// Formats a fraction as a percentage like the paper's tables ("93%").
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Formats a p-value the way table 7 prints them.
+pub fn fmt_p(p: f64) -> String {
+    if p < 0.001 {
+        "<0.001".to_string()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+/// Runs all three settings of one workload and returns
+/// (go, gofree, gcoff) report vectors.
+///
+/// # Panics
+///
+/// Panics if compilation or any run fails — experiment inputs are fixed
+/// and must work.
+pub fn run_three_settings(
+    source: &str,
+    runs: u64,
+    base: &RunConfig,
+) -> (
+    Vec<gofree::Report>,
+    Vec<gofree::Report>,
+    Vec<gofree::Report>,
+) {
+    let mut out = Vec::new();
+    for setting in Setting::all() {
+        let compiled =
+            gofree::compile(source, &setting.compile_options()).expect("workload compiles");
+        let reports =
+            gofree::run_distribution(&compiled, setting, base, runs).expect("workload runs");
+        out.push(reports);
+    }
+    let gcoff = out.pop().expect("three settings");
+    let gofree = out.pop().expect("three settings");
+    let go = out.pop().expect("three settings");
+    (go, gofree, gcoff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_p_formatting() {
+        assert_eq!(pct(0.934), "93%");
+        assert_eq!(pct(1.0), "100%");
+        assert_eq!(fmt_p(0.0004), "<0.001");
+        assert_eq!(fmt_p(0.253), "0.253");
+    }
+
+    #[test]
+    fn run_three_settings_produces_consistent_outputs() {
+        let w = gofree_workloads::by_name("json", gofree_workloads::Scale::Test).unwrap();
+        let (go, gofree, gcoff) = run_three_settings(&w.source, 3, &eval_run_config());
+        assert_eq!(go.len(), 3);
+        assert_eq!(go[0].output, gofree[0].output);
+        assert_eq!(go[0].output, gcoff[0].output);
+    }
+}

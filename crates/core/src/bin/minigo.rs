@@ -1,0 +1,428 @@
+//! The `minigo` command-line tool: compile and run MiniGo programs with
+//! the Go or GoFree pipeline, inspect the instrumented output, dump the
+//! escape analysis and its graph, and profile allocation sites.
+//!
+//! ```text
+//! minigo run [--go] [--gcoff] [--seed N] <file>
+//! minigo build [--go] <file>            # print the (instrumented) source
+//! minigo analyze [--func NAME] <file>   # escape properties + decisions
+//! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
+//! minigo profile <file>                 # top allocation sites
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gofree::{compile, execute, CompileOptions, RunConfig, Setting};
+use minigo_syntax::{Block, Expr, ExprId, ExprKind, Span, Stmt, StmtKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("minigo: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    go_mode: bool,
+    gcoff: bool,
+    seed: u64,
+    func: Option<String>,
+    file: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        go_mode: false,
+        gcoff: false,
+        seed: 0,
+        func: None,
+        file: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--go" => cli.go_mode = true,
+            "--gofree" => cli.go_mode = false,
+            "--gcoff" => cli.gcoff = true,
+            "--seed" => {
+                cli.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--func" => {
+                cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
+            }
+            other if !other.starts_with('-') => {
+                if cli.file.is_some() {
+                    return Err(format!("unexpected argument {other}"));
+                }
+                cli.file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let cli = parse_cli(rest)?;
+    let read = |cli: &Cli| -> Result<String, String> {
+        let file = cli.file.as_ref().ok_or("missing input file")?;
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))
+    };
+    let options = |cli: &Cli| {
+        if cli.go_mode {
+            CompileOptions::go()
+        } else {
+            CompileOptions::default()
+        }
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            let src = read(&cli)?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            let setting = match (cli.go_mode, cli.gcoff) {
+                (_, true) => Setting::GoGcOff,
+                (true, false) => Setting::Go,
+                (false, false) => Setting::GoFree,
+            };
+            let cfg = RunConfig {
+                seed: cli.seed,
+                ..RunConfig::default()
+            };
+            let report = execute(&compiled, setting, &cfg).map_err(|e| e.to_string())?;
+            print!("{}", report.output);
+            eprintln!(
+                "[{setting}] time={} GCs={} alloced={}B freed={}B ({:.0}%) maxheap={}B",
+                report.time,
+                report.metrics.gcs,
+                report.metrics.alloced_bytes,
+                report.metrics.freed_bytes,
+                report.metrics.free_ratio() * 100.0,
+                report.metrics.maxheap,
+            );
+            Ok(())
+        }
+        "build" => {
+            let src = read(&cli)?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            print!("{}", compiled.instrumented_source());
+            Ok(())
+        }
+        "analyze" => {
+            let src = read(&cli)?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            print_analysis(&compiled, cli.func.as_deref());
+            Ok(())
+        }
+        "dot" => {
+            let src = read(&cli)?;
+            let name = cli.func.as_deref().ok_or("dot requires --func NAME")?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            let fid = compiled
+                .program
+                .func(name)
+                .ok_or_else(|| format!("no function `{name}`"))?
+                .id;
+            let fg = compiled
+                .analysis
+                .funcs
+                .get(&fid)
+                .ok_or("function not analyzed")?;
+            print!("{}", fg.graph.to_dot(name));
+            Ok(())
+        }
+        "explain" => {
+            let src = read(&cli)?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            explain(&compiled, cli.func.as_deref());
+            Ok(())
+        }
+        "profile" => {
+            let src = read(&cli)?;
+            let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            let cfg = RunConfig {
+                seed: cli.seed,
+                ..RunConfig::default()
+            };
+            let report = execute(&compiled, Setting::GoFree, &cfg).map_err(|e| e.to_string())?;
+            let spans = collect_spans(&compiled.program);
+            println!(
+                "{:>6} {:>12} {:>10}  {}",
+                "count", "bytes", "location", "site"
+            );
+            for p in report.site_profile.iter().take(20) {
+                let (loc, what) = spans
+                    .get(&p.site)
+                    .map(|(span, what)| {
+                        let (line, col) = span.line_col(&src);
+                        (format!("{line}:{col}"), what.clone())
+                    })
+                    .unwrap_or_else(|| ("?".into(), "?".into()));
+                println!("{:>6} {:>12} {:>10}  {}", p.count, p.bytes, loc, what);
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            eprintln!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] [--func NAME] <file>"
+        .to_string()
+}
+
+/// Explains, for every local of a freeable reference type, which of
+/// definition 4.17's conjuncts hold and which witnesses block freeing.
+fn explain(compiled: &gofree::Compiled, only: Option<&str>) {
+    use minigo_escape::{points_to, LocKind};
+    for func in &compiled.program.funcs {
+        if let Some(name) = only {
+            if func.name != name {
+                continue;
+            }
+        }
+        let Some(fg) = compiled.analysis.funcs.get(&func.id) else {
+            continue;
+        };
+        let selected: std::collections::HashSet<minigo_syntax::VarId> = compiled
+            .analysis
+            .free_vars
+            .get(&func.id)
+            .map(|v| v.iter().map(|(vid, _)| *vid).collect())
+            .unwrap_or_default();
+        let mut printed_header = false;
+        for id in fg.graph.ids() {
+            let l = fg.graph.loc(id);
+            let LocKind::Var(vid) = l.kind else { continue };
+            let info = compiled.resolution.var(vid);
+            let is_local = info.kind == minigo_syntax::VarKind::Local;
+            let freeable_ty = compiled
+                .types
+                .var(vid)
+                .map(|t| t.is_freeable_reference())
+                .unwrap_or(false);
+            if !is_local || !freeable_ty {
+                continue;
+            }
+            if !printed_header {
+                println!("func {}:", func.name);
+                printed_header = true;
+            }
+            let pts = points_to(&fg.graph, id);
+            if selected.contains(&vid) {
+                println!(
+                    "  {:<14} FREED   (complete, not outlived, points to heap)",
+                    l.name
+                );
+                continue;
+            }
+            if l.to_free() {
+                println!(
+                    "  {:<14} KEPT    qualified, but excluded by the free-target selection (§6.5)",
+                    l.name
+                );
+                continue;
+            }
+            let mut reasons = Vec::new();
+            if l.incomplete {
+                reasons.push(
+                    "points-to set incomplete (untracked indirect-store dataflow)".to_string(),
+                );
+            }
+            if l.outlived {
+                let witnesses: Vec<String> = pts
+                    .iter()
+                    .filter(|&&p| fg.graph.loc(p).outermost_ref < l.decl_depth)
+                    .map(|&p| {
+                        let pl = fg.graph.loc(p);
+                        format!(
+                            "{} (referenced from scope depth {} < {})",
+                            pl.name, pl.outermost_ref, l.decl_depth
+                        )
+                    })
+                    .collect();
+                reasons.push(format!("outlived by {}", witnesses.join(", ")));
+            }
+            if !l.points_to_heap {
+                reasons.push("all referents are stack-allocated".to_string());
+            }
+            if l.pinned {
+                reasons.push("passed to defer/panic (§5)".to_string());
+            }
+            if reasons.is_empty() {
+                reasons.push("not selected (mode or target restriction)".to_string());
+            }
+            println!("  {:<14} KEPT    {}", l.name, reasons.join("; "));
+        }
+        if printed_header {
+            println!();
+        }
+    }
+}
+
+fn print_analysis(compiled: &gofree::Compiled, only: Option<&str>) {
+    for func in &compiled.program.funcs {
+        if let Some(name) = only {
+            if func.name != name {
+                continue;
+            }
+        }
+        let Some(fg) = compiled.analysis.funcs.get(&func.id) else {
+            continue;
+        };
+        println!("func {}:", func.name);
+        for id in fg.graph.ids() {
+            let l = fg.graph.loc(id);
+            if !matches!(l.kind, minigo_escape::LocKind::Var(_)) {
+                continue;
+            }
+            println!(
+                "  {:<16} heap={:<5} exposes={:<5} incomplete={:<5} outlived={:<5} tofree={}",
+                l.name,
+                l.heap_alloc,
+                l.exposes,
+                l.incomplete,
+                l.outlived,
+                l.to_free()
+            );
+        }
+        if let Some(frees) = compiled.analysis.free_vars.get(&func.id) {
+            for (vid, kind) in frees {
+                println!(
+                    "  -> {} {}",
+                    kind,
+                    compiled.resolution.var(*vid).name
+                );
+            }
+        }
+        println!();
+    }
+}
+
+/// Maps allocation-relevant expression ids to spans and descriptions.
+fn collect_spans(program: &minigo_syntax::Program) -> HashMap<ExprId, (Span, String)> {
+    let mut out = HashMap::new();
+    for func in &program.funcs {
+        collect_block(&func.body, &func.name, &mut out);
+    }
+    out
+}
+
+fn collect_block(block: &Block, fname: &str, out: &mut HashMap<ExprId, (Span, String)>) {
+    for stmt in &block.stmts {
+        collect_stmt(stmt, fname, out);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, fname: &str, out: &mut HashMap<ExprId, (Span, String)>) {
+    let mut visit = |e: &Expr| collect_expr(e, fname, out);
+    match &stmt.kind {
+        StmtKind::VarDecl { init, .. } | StmtKind::ShortDecl { init, .. } => {
+            init.iter().for_each(&mut visit)
+        }
+        StmtKind::Assign { lhs, rhs, .. } => {
+            lhs.iter().for_each(&mut visit);
+            rhs.iter().for_each(&mut visit);
+        }
+        StmtKind::If { cond, then, els } => {
+            visit(cond);
+            collect_block(then, fname, out);
+            if let Some(els) = els {
+                collect_stmt(els, fname, out);
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            post,
+            body,
+        } => {
+            if let Some(init) = init {
+                collect_stmt(init, fname, out);
+            }
+            if let Some(cond) = cond {
+                collect_expr(cond, fname, out);
+            }
+            if let Some(post) = post {
+                collect_stmt(post, fname, out);
+            }
+            collect_block(body, fname, out);
+        }
+        StmtKind::Return { exprs } => exprs.iter().for_each(&mut visit),
+        StmtKind::Expr { expr } => visit(expr),
+        StmtKind::BlockStmt { block } => collect_block(block, fname, out),
+        StmtKind::Defer { call } => visit(call),
+        StmtKind::Switch {
+            subject,
+            cases,
+            default,
+        } => {
+            collect_expr(subject, fname, out);
+            for case in cases {
+                case.values
+                    .iter()
+                    .for_each(|v| collect_expr(v, fname, out));
+                collect_block(&case.body, fname, out);
+            }
+            if let Some(default) = default {
+                collect_block(default, fname, out);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Free { target, .. } => visit(target),
+    }
+}
+
+fn collect_expr(e: &Expr, fname: &str, out: &mut HashMap<ExprId, (Span, String)>) {
+    match &e.kind {
+        ExprKind::Builtin { kind, args, .. } => {
+            let what = match kind {
+                minigo_syntax::Builtin::Make => Some(format!("make (in {fname})")),
+                minigo_syntax::Builtin::New => Some(format!("new (in {fname})")),
+                minigo_syntax::Builtin::Append => Some(format!("append growth (in {fname})")),
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.insert(e.id, (e.span, what));
+            }
+            args.iter().for_each(|a| collect_expr(a, fname, out));
+        }
+        ExprKind::StructLit { name, fields } => {
+            out.insert(e.id, (e.span, format!("&{name}{{}} (in {fname})")));
+            fields.iter().for_each(|f| collect_expr(f, fname, out));
+        }
+        ExprKind::Unary { operand, .. } => collect_expr(operand, fname, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, fname, out);
+            collect_expr(rhs, fname, out);
+        }
+        ExprKind::Field { base, .. } => collect_expr(base, fname, out),
+        ExprKind::Index { base, index } => {
+            collect_expr(base, fname, out);
+            collect_expr(index, fname, out);
+        }
+        ExprKind::SliceExpr { base, lo, hi } => {
+            collect_expr(base, fname, out);
+            for bound in [lo, hi].into_iter().flatten() {
+                collect_expr(bound, fname, out);
+            }
+        }
+        ExprKind::Call { args, .. } => args.iter().for_each(|a| collect_expr(a, fname, out)),
+        _ => {}
+    }
+}

@@ -1,0 +1,224 @@
+//! The execution engine: runs compiled programs under the paper's three
+//! experimental settings and collects reports.
+
+use minigo_escape::Mode;
+use minigo_runtime::{PoisonMode, RuntimeConfig};
+use minigo_vm::{run, ExecError, RunOutcome, VmConfig};
+
+use crate::pipeline::{compile, Compiled, CompileOptions};
+
+/// The three settings of §6.4: Go, GoFree, and Go with GC disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setting {
+    /// Compiled with plain Go, GC on.
+    Go,
+    /// Compiled with GoFree, GC on.
+    GoFree,
+    /// Compiled with plain Go, GC off (the `GC time` baseline).
+    GoGcOff,
+}
+
+impl Setting {
+    /// All settings in presentation order.
+    pub fn all() -> [Setting; 3] {
+        [Setting::Go, Setting::GoFree, Setting::GoGcOff]
+    }
+
+    /// The compiler options for this setting.
+    pub fn compile_options(self) -> CompileOptions {
+        match self {
+            Setting::GoFree => CompileOptions::default(),
+            Setting::Go | Setting::GoGcOff => CompileOptions::go(),
+        }
+    }
+
+    /// Whether GC is enabled at run time.
+    pub fn gc_enabled(self) -> bool {
+        !matches!(self, Setting::GoGcOff)
+    }
+}
+
+impl std::fmt::Display for Setting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Setting::Go => write!(f, "Go"),
+            Setting::GoFree => write!(f, "GoFree"),
+            Setting::GoGcOff => write!(f, "Go-GCOff"),
+        }
+    }
+}
+
+/// Per-run knobs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// RNG seed: distinct seeds yield the fig. 11 distribution.
+    pub seed: u64,
+    /// GOGC (heap growth percentage).
+    pub gogc: u64,
+    /// GC trigger floor in bytes.
+    pub min_heap: u64,
+    /// Scheduler-migration probability per allocation.
+    pub migrate_prob: f64,
+    /// Clock jitter fraction.
+    pub jitter: f64,
+    /// §6.8 mock tcfree.
+    pub poison: PoisonMode,
+    /// Statement budget.
+    pub step_limit: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            gogc: 100,
+            min_heap: 512 * 1024,
+            migrate_prob: 0.0005,
+            jitter: 0.02,
+            poison: PoisonMode::Off,
+            step_limit: 500_000_000,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A fully deterministic configuration (no jitter, no migrations) for
+    /// tests.
+    pub fn deterministic(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            migrate_prob: 0.0,
+            jitter: 0.0,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// A single run's report (table 5's metrics).
+pub type Report = RunOutcome;
+
+/// Executes a compiled program.
+///
+/// # Errors
+///
+/// Propagates VM errors (panics, poisoned reads, limits).
+pub fn execute(compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Result<Report, ExecError> {
+    let runtime = RuntimeConfig {
+        gc_enabled: setting.gc_enabled(),
+        gogc: cfg.gogc,
+        min_heap: cfg.min_heap,
+        migrate_prob: cfg.migrate_prob,
+        seed: cfg.seed,
+        jitter: cfg.jitter,
+        poison: cfg.poison,
+        ..RuntimeConfig::default()
+    };
+    let vm_cfg = VmConfig {
+        runtime,
+        step_limit: cfg.step_limit,
+        grow_map_free_old: compiled.analysis.options.mode == Mode::GoFree,
+        ..VmConfig::default()
+    };
+    run(
+        &compiled.program,
+        &compiled.resolution,
+        &compiled.types,
+        &compiled.analysis,
+        vm_cfg,
+    )
+}
+
+/// Compiles and runs `src` under `setting` in one step.
+///
+/// # Errors
+///
+/// Returns compile diagnostics (stringified) or VM errors.
+pub fn compile_and_run(
+    src: &str,
+    setting: Setting,
+    cfg: &RunConfig,
+) -> Result<Report, Box<dyn std::error::Error>> {
+    let compiled = compile(src, &setting.compile_options())?;
+    Ok(execute(&compiled, setting, cfg)?)
+}
+
+/// Runs `n` seeded executions of a compiled program (fig. 11's
+/// distributions and table 7's 99-run samples).
+///
+/// # Errors
+///
+/// Propagates the first VM error.
+pub fn run_distribution(
+    compiled: &Compiled,
+    setting: Setting,
+    base: &RunConfig,
+    n: u64,
+) -> Result<Vec<Report>, ExecError> {
+    (0..n)
+        .map(|i| {
+            let cfg = RunConfig {
+                seed: base.seed.wrapping_add(i * 0x9E37_79B9),
+                ..base.clone()
+            };
+            execute(compiled, setting, &cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "func work(n int) int { s := make([]int, n)\n s[0] = n\n x := s[0]\n return x }\nfunc main() { total := 0\n for i := 0; i < 200; i += 1 { total += work(200) }\n print(total) }\n";
+
+    #[test]
+    fn three_settings_agree_on_output() {
+        let cfg = RunConfig::deterministic(1);
+        let go = compile_and_run(SRC, Setting::Go, &cfg).unwrap();
+        let gofree = compile_and_run(SRC, Setting::GoFree, &cfg).unwrap();
+        let gcoff = compile_and_run(SRC, Setting::GoGcOff, &cfg).unwrap();
+        assert_eq!(go.output, gofree.output);
+        assert_eq!(go.output, gcoff.output);
+        assert_eq!(gcoff.metrics.gcs, 0);
+        assert!(gofree.metrics.freed_bytes > 0);
+        assert_eq!(go.metrics.freed_bytes, 0);
+    }
+
+    #[test]
+    fn gc_off_is_fastest_baseline() {
+        let cfg = RunConfig {
+            min_heap: 32 * 1024,
+            ..RunConfig::deterministic(3)
+        };
+        let go = compile_and_run(SRC, Setting::Go, &cfg).unwrap();
+        let gcoff = compile_and_run(SRC, Setting::GoGcOff, &cfg).unwrap();
+        assert!(go.metrics.gcs > 0, "GC must actually run for the baseline");
+        assert!(gcoff.time < go.time, "GC time is the difference");
+    }
+
+    #[test]
+    fn distribution_varies_with_seeds() {
+        let compiled = compile(SRC, &CompileOptions::go()).unwrap();
+        let base = RunConfig {
+            jitter: 0.05,
+            ..RunConfig::default()
+        };
+        let reports = run_distribution(&compiled, Setting::Go, &base, 10).unwrap();
+        assert_eq!(reports.len(), 10);
+        let times: std::collections::HashSet<u64> = reports.iter().map(|r| r.time).collect();
+        assert!(times.len() > 1, "jitter should spread run times");
+        // All runs compute the same answer regardless of jitter.
+        let outputs: std::collections::HashSet<&str> =
+            reports.iter().map(|r| r.output.as_str()).collect();
+        assert_eq!(outputs.len(), 1);
+    }
+
+    #[test]
+    fn setting_display_and_options() {
+        assert_eq!(Setting::Go.to_string(), "Go");
+        assert_eq!(Setting::GoFree.to_string(), "GoFree");
+        assert_eq!(Setting::GoGcOff.to_string(), "Go-GCOff");
+        assert!(!Setting::GoGcOff.gc_enabled());
+        assert_eq!(Setting::all().len(), 3);
+    }
+}

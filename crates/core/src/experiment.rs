@@ -1,0 +1,323 @@
+//! Experiment drivers: turn raw run reports into the rows of the paper's
+//! tables and figures.
+
+use minigo_runtime::Category;
+
+use crate::engine::Report;
+use crate::stats::{mean, stdev, welch_t_test};
+
+/// A GoFree/Go comparison of one metric: the ratio of means, the relative
+/// standard deviation, and Welch's two-sided p-value (table 7's column
+/// triplets).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricComparison {
+    /// mean(GoFree) / mean(Go); < 1 means GoFree is better.
+    pub ratio: f64,
+    /// stdev(GoFree) / mean(Go) — the spread relative to the baseline.
+    pub stdev: f64,
+    /// Two-sided p-value of the difference.
+    pub p_value: f64,
+}
+
+impl MetricComparison {
+    fn of(gofree: &[f64], go: &[f64]) -> MetricComparison {
+        let base = mean(go);
+        let (ratio, sd) = if base == 0.0 {
+            (1.0, 0.0)
+        } else {
+            (mean(gofree) / base, stdev(gofree) / base)
+        };
+        MetricComparison {
+            ratio,
+            stdev: sd,
+            p_value: welch_t_test(gofree, go).p,
+        }
+    }
+
+    /// Whether the difference is significant at the paper's α = 0.01.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.01
+    }
+}
+
+/// One row of table 7.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Project name.
+    pub project: String,
+    /// Wall-clock time comparison.
+    pub time: MetricComparison,
+    /// GC-time ratio: (GoFree − GCOff) / (Go − GCOff).
+    pub gc_time_ratio: f64,
+    /// GC cycle count comparison.
+    pub gcs: MetricComparison,
+    /// Mean free ratio of the GoFree runs (freed / alloced).
+    pub free_ratio: f64,
+    /// Peak heap comparison.
+    pub maxheap: MetricComparison,
+}
+
+/// Builds a table 7 row from the three settings' run samples.
+pub fn table7_row(
+    project: impl Into<String>,
+    go: &[Report],
+    gofree: &[Report],
+    gcoff: &[Report],
+) -> Table7Row {
+    let times = |rs: &[Report]| rs.iter().map(|r| r.time as f64).collect::<Vec<_>>();
+    let gcs = |rs: &[Report]| rs.iter().map(|r| r.metrics.gcs as f64).collect::<Vec<_>>();
+    let heaps = |rs: &[Report]| {
+        rs.iter()
+            .map(|r| r.metrics.maxheap as f64)
+            .collect::<Vec<_>>()
+    };
+    let go_t = times(go);
+    let gofree_t = times(gofree);
+    let gcoff_t = times(gcoff);
+    let gc_time_go = mean(&go_t) - mean(&gcoff_t);
+    let gc_time_gofree = mean(&gofree_t) - mean(&gcoff_t);
+    let gc_time_ratio = if gc_time_go > 0.0 {
+        (gc_time_gofree / gc_time_go).max(0.0)
+    } else {
+        1.0
+    };
+    Table7Row {
+        project: project.into(),
+        time: MetricComparison::of(&gofree_t, &go_t),
+        gc_time_ratio,
+        gcs: MetricComparison::of(&gcs(gofree), &gcs(go)),
+        free_ratio: mean(
+            &gofree
+                .iter()
+                .map(|r| r.metrics.free_ratio())
+                .collect::<Vec<_>>(),
+        ),
+        maxheap: MetricComparison::of(&heaps(gofree), &heaps(go)),
+    }
+}
+
+/// One row of table 8: allocation decisions and reclamation shares per
+/// category.
+#[derive(Debug, Clone)]
+pub struct Table8Row {
+    /// Project name.
+    pub project: String,
+    /// Stack allocations of non-slice/map objects.
+    pub stack_others: u64,
+    /// Heap "others" reclaimed by GC.
+    pub heap_gc_others: u64,
+    /// Stack-allocated slices.
+    pub stack_slices: u64,
+    /// Slices freed by `tcfree`.
+    pub heap_tcfree_slices: u64,
+    /// Slices reclaimed by GC.
+    pub heap_gc_slices: u64,
+    /// Stack-allocated maps.
+    pub stack_maps: u64,
+    /// Maps freed by `tcfree`.
+    pub heap_tcfree_maps: u64,
+    /// Maps reclaimed by GC.
+    pub heap_gc_maps: u64,
+}
+
+impl Table8Row {
+    /// `tcfree / (tcfree + GC)` for slices.
+    pub fn slice_share(&self) -> f64 {
+        ratio(self.heap_tcfree_slices, self.heap_gc_slices)
+    }
+
+    /// `tcfree / (tcfree + GC)` for maps.
+    pub fn map_share(&self) -> f64 {
+        ratio(self.heap_tcfree_maps, self.heap_gc_maps)
+    }
+}
+
+fn ratio(t: u64, g: u64) -> f64 {
+    if t + g == 0 {
+        0.0
+    } else {
+        t as f64 / (t + g) as f64
+    }
+}
+
+/// Builds a table 8 row from one GoFree run.
+pub fn table8_row(project: impl Into<String>, report: &Report) -> Table8Row {
+    let m = &report.metrics;
+    let s = Category::Slice.index();
+    let mp = Category::Map.index();
+    let o = Category::Other.index();
+    Table8Row {
+        project: project.into(),
+        stack_others: m.stack_allocs[o],
+        heap_gc_others: m.heap_gced[o],
+        stack_slices: m.stack_allocs[s],
+        heap_tcfree_slices: m.heap_tcfreed[s],
+        heap_gc_slices: m.heap_gced[s],
+        stack_maps: m.stack_allocs[mp],
+        heap_tcfree_maps: m.heap_tcfreed[mp],
+        heap_gc_maps: m.heap_gced[mp],
+    }
+}
+
+/// One row of table 9: where the reclaimed bytes came from.
+#[derive(Debug, Clone)]
+pub struct Table9Row {
+    /// Project name.
+    pub project: String,
+    /// Share reclaimed by `FreeSlice()`.
+    pub free_slice: f64,
+    /// Share reclaimed by `FreeMap()`.
+    pub free_map: f64,
+    /// Share reclaimed by `GrowMapAndFreeOld()`.
+    pub grow_map: f64,
+}
+
+/// Builds a table 9 row from one GoFree run.
+pub fn table9_row(project: impl Into<String>, report: &Report) -> Table9Row {
+    let [s, m, g] = report.metrics.source_shares();
+    Table9Row {
+        project: project.into(),
+        free_slice: s,
+        free_map: m,
+        grow_map: g,
+    }
+}
+
+/// A fig. 10 microbenchmark point: the effect of the deallocated-object
+/// size parameter `c`.
+#[derive(Debug, Clone)]
+pub struct Fig10Point {
+    /// The size parameter (bigger c = bigger deallocated objects).
+    pub c: u64,
+    /// Free ratio under GoFree.
+    pub free_ratio: f64,
+    /// GC-count ratio GoFree/Go.
+    pub gc_ratio: f64,
+    /// Time ratio GoFree/Go.
+    pub time_ratio: f64,
+    /// Maxheap ratio GoFree/Go.
+    pub heap_ratio: f64,
+}
+
+/// Builds a fig. 10 point from paired runs.
+pub fn fig10_point(c: u64, go: &Report, gofree: &Report) -> Fig10Point {
+    let r = |a: u64, b: u64| {
+        if b == 0 {
+            1.0
+        } else {
+            a as f64 / b as f64
+        }
+    };
+    Fig10Point {
+        c,
+        free_ratio: gofree.metrics.free_ratio(),
+        gc_ratio: r(gofree.metrics.gcs, go.metrics.gcs),
+        time_ratio: r(gofree.time, go.time),
+        heap_ratio: r(gofree.metrics.maxheap, go.metrics.maxheap),
+    }
+}
+
+/// Summary of a fig. 11 run-time distribution.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    /// Label (setting name).
+    pub label: String,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// The raw samples.
+    pub samples: Vec<f64>,
+}
+
+/// Summarizes the run times of a setting's reports.
+pub fn distribution(label: impl Into<String>, reports: &[Report]) -> Distribution {
+    let samples: Vec<f64> = reports.iter().map(|r| r.time as f64).collect();
+    Distribution {
+        label: label.into(),
+        mean: mean(&samples),
+        stdev: stdev(&samples),
+        min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{compile_and_run, run_distribution, RunConfig, Setting};
+    use crate::pipeline::compile;
+
+    const SRC: &str = "func work(n int) int { s := make([]int, n)\n s[0] = n\n x := s[0]\n return x }\nfunc main() { total := 0\n m := make(map[int]int)\n for i := 0; i < 300; i += 1 { total += work(300)\n m[i] = total }\n print(total) }\n";
+
+    fn reports(setting: Setting, n: u64) -> Vec<Report> {
+        let compiled = compile(SRC, &setting.compile_options()).unwrap();
+        let base = RunConfig {
+            min_heap: 64 * 1024,
+            ..RunConfig::default()
+        };
+        run_distribution(&compiled, setting, &base, n).unwrap()
+    }
+
+    #[test]
+    fn table7_row_shape() {
+        let go = reports(Setting::Go, 8);
+        let gofree = reports(Setting::GoFree, 8);
+        let gcoff = reports(Setting::GoGcOff, 8);
+        let row = table7_row("toy", &go, &gofree, &gcoff);
+        assert!(row.free_ratio > 0.1, "free ratio {}", row.free_ratio);
+        assert!(row.gcs.ratio <= 1.0, "GoFree never adds GCs");
+        assert!(row.time.ratio < 1.05, "time ratio {}", row.time.ratio);
+        assert!(row.gc_time_ratio < 1.0, "gc time must shrink");
+    }
+
+    #[test]
+    fn table8_and_9_rows() {
+        let cfg = RunConfig::deterministic(7);
+        let r = compile_and_run(SRC, Setting::GoFree, &cfg).unwrap();
+        let t8 = table8_row("toy", &r);
+        assert!(t8.heap_tcfree_slices > 0);
+        assert!(t8.slice_share() > 0.0 && t8.slice_share() <= 1.0);
+        let t9 = table9_row("toy", &r);
+        let total = t9.free_slice + t9.free_map + t9.grow_map;
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {total}");
+        assert!(t9.free_slice > 0.0);
+        assert!(t9.grow_map > 0.0, "map growth contributes");
+    }
+
+    #[test]
+    fn fig10_point_fields() {
+        let cfg = RunConfig::deterministic(9);
+        let go = compile_and_run(SRC, Setting::Go, &cfg).unwrap();
+        let gofree = compile_and_run(SRC, Setting::GoFree, &cfg).unwrap();
+        let p = fig10_point(4, &go, &gofree);
+        assert_eq!(p.c, 4);
+        assert!(p.free_ratio > 0.0);
+        assert!(p.gc_ratio <= 1.0);
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let rs = reports(Setting::Go, 6);
+        let d = distribution("Go", &rs);
+        assert_eq!(d.samples.len(), 6);
+        assert!(d.min <= d.mean && d.mean <= d.max);
+    }
+
+    #[test]
+    fn metric_comparison_significance() {
+        let a: Vec<f64> = (0..50).map(|i| 100.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 90.0 + (i % 5) as f64).collect();
+        let c = MetricComparison::of(&b, &a);
+        assert!(c.ratio < 1.0);
+        assert!(c.significant());
+        let same = MetricComparison::of(&a, &a);
+        assert!(!same.significant());
+        assert!((same.ratio - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gofree
+//!
+//! The public facade of the GoFree reproduction (CGO 2025): compile MiniGo
+//! programs with either the plain Go pipeline or GoFree's explicit-
+//! deallocation pipeline, execute them on the simulated managed runtime,
+//! and reduce run reports into the paper's tables and figures.
+//!
+//! ```
+//! use gofree::{compile, execute, CompileOptions, RunConfig, Setting};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "func main() { n := 100\n s := make([]int, n)\n s[0] = 41\n print(s[0] + 1) }\n";
+//! let compiled = compile(src, &CompileOptions::default())?;
+//! assert!(compiled.instrumented_source().contains("tcfree(s)"));
+//! let report = execute(&compiled, Setting::GoFree, &RunConfig::deterministic(0))?;
+//! assert_eq!(report.output, "42\n");
+//! assert!(report.metrics.freed_bytes > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod pipeline;
+pub mod stats;
+
+pub use engine::{compile_and_run, execute, run_distribution, Report, RunConfig, Setting};
+pub use experiment::{
+    distribution, fig10_point, table7_row, table8_row, table9_row, Distribution, Fig10Point,
+    MetricComparison, Table7Row, Table8Row, Table9Row,
+};
+pub use pipeline::{compile, Compiled, CompileOptions};
+pub use stats::{mean, stdev, welch_t_test, Welch};
+
+// Re-export the pieces callers commonly need alongside the facade.
+pub use minigo_escape::{FreeTargets, Mode};
+pub use minigo_runtime::{Category, FreeSource, PoisonMode};
+pub use minigo_vm::ExecError;

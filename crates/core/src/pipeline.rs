@@ -1,0 +1,137 @@
+//! The compile pipeline: front end → escape analysis → instrumentation.
+
+use minigo_escape::{
+    analyze, inline_program, instrument, Analysis, AnalyzeOptions, FreeTargets, InlineOptions,
+    Mode,
+};
+use minigo_syntax::{
+    parse, print_program, resolve, typecheck, Diagnostic, Program, Resolution, TypeInfo,
+};
+
+/// Compiler options — a thin, user-facing wrapper over
+/// [`AnalyzeOptions`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Compile as plain Go or with GoFree.
+    pub mode: Mode,
+    /// Free slices+maps (paper default) or also raw pointers.
+    pub free_targets: FreeTargets,
+    /// §4.4 content tags (ablation toggle).
+    pub content_tags: bool,
+    /// Fig. 5 back-propagation (ablation toggle).
+    pub back_propagation: bool,
+    /// Run the §4.6.4 inlining pass before analysis. Off by default —
+    /// GoFree does not depend on inlining; the `inlining` experiment
+    /// binary compares both compilers with and without it.
+    pub inline: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            mode: Mode::GoFree,
+            free_targets: FreeTargets::SlicesAndMaps,
+            content_tags: true,
+            back_propagation: true,
+            inline: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options modeling the unmodified Go compiler.
+    pub fn go() -> Self {
+        CompileOptions {
+            mode: Mode::Go,
+            ..CompileOptions::default()
+        }
+    }
+
+    fn to_analyze_options(&self) -> AnalyzeOptions {
+        AnalyzeOptions {
+            mode: self.mode,
+            free_targets: self.free_targets,
+            content_tags: self.content_tags,
+            back_propagation: self.back_propagation,
+            ..AnalyzeOptions::default()
+        }
+    }
+}
+
+/// A compiled (and, in GoFree mode, instrumented) program ready to run.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The (instrumented) AST.
+    pub program: Program,
+    /// Name resolution, including the synthesized `tcfree` uses.
+    pub resolution: Resolution,
+    /// Types.
+    pub types: TypeInfo,
+    /// The escape analysis results (allocation decisions, free choices).
+    pub analysis: Analysis,
+}
+
+impl Compiled {
+    /// The instrumented program rendered back to MiniGo source — shows
+    /// exactly where the compiler put the `tcfree` calls.
+    pub fn instrumented_source(&self) -> String {
+        print_program(&self.program)
+    }
+
+    /// Number of `tcfree` insertions across the program.
+    pub fn free_count(&self) -> usize {
+        self.analysis.stats.to_free
+    }
+}
+
+/// Compiles MiniGo source.
+///
+/// # Errors
+///
+/// Returns the first front-end [`Diagnostic`].
+pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic> {
+    let mut program = parse(src)?;
+    if opts.inline {
+        program = inline_program(&program, &InlineOptions::default()).0;
+    }
+    let mut resolution = resolve(&program)?;
+    let types = typecheck(&program, &resolution)?;
+    let analysis = analyze(&program, &resolution, &types, &opts.to_analyze_options());
+    let program = if opts.mode == Mode::GoFree {
+        instrument(&program, &mut resolution, &analysis)
+    } else {
+        program
+    };
+    Ok(Compiled {
+        program,
+        resolution,
+        types,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "func work(n int) int { s := make([]int, n)\n s[0] = n\n x := s[0]\n return x }\nfunc main() { print(work(64)) }\n";
+
+    #[test]
+    fn gofree_compile_inserts_frees() {
+        let c = compile(SRC, &CompileOptions::default()).unwrap();
+        assert!(c.free_count() >= 1);
+        assert!(c.instrumented_source().contains("tcfree(s)"));
+    }
+
+    #[test]
+    fn go_compile_is_clean() {
+        let c = compile(SRC, &CompileOptions::go()).unwrap();
+        assert_eq!(c.free_count(), 0);
+        assert!(!c.instrumented_source().contains("tcfree"));
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        assert!(compile("func f( {", &CompileOptions::default()).is_err());
+    }
+}

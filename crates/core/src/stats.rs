@@ -1,0 +1,249 @@
+//! Statistics for the evaluation: means, standard deviations, and Welch's
+//! two-sample t-test (the paper reports two-sided p-values at α = 0.01 in
+//! table 7).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1). Returns 0 for fewer than two samples.
+pub fn stdev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Result of Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welch {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+/// Welch's t-test for the difference of means of `a` and `b`.
+///
+/// Returns `p = 1` when either sample is degenerate (fewer than two
+/// points, or both variances zero with equal means).
+///
+/// ```
+/// use gofree::welch_t_test;
+///
+/// let fast = [95.0, 96.0, 94.5, 95.5, 95.2];
+/// let slow = [99.0, 100.0, 98.5, 99.5, 99.2];
+/// let w = welch_t_test(&fast, &slow);
+/// assert!(w.p < 0.01, "clearly separated samples are significant");
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Welch {
+    if a.len() < 2 || b.len() < 2 {
+        return Welch {
+            t: 0.0,
+            df: 1.0,
+            p: 1.0,
+        };
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (sa, sb) = (stdev(a), stdev(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let va = sa * sa / na;
+    let vb = sb * sb / nb;
+    if va + vb == 0.0 {
+        return Welch {
+            t: 0.0,
+            df: na + nb - 2.0,
+            p: if ma == mb { 1.0 } else { 0.0 },
+        };
+    }
+    let t = (ma - mb) / (va + vb).sqrt();
+    let df = (va + vb) * (va + vb)
+        / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Welch { t, df, p: p.clamp(0.0, 1.0) }
+}
+
+/// Survival function of Student's t distribution: P(T > t) for t ≥ 0.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    // P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2 for t >= 0.
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Lentz's method; Numerical Recipes §6.4).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+        2.506_628_274_631_000_5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in &G[..6] {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (G[6] * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stdev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stdev(&xs) - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(stdev(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_endpoints_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_distribution_tail_known_values() {
+        // For df=10, P(T > 2.228) ≈ 0.025 (classic t-table value).
+        let p = student_t_sf(2.228, 10.0);
+        assert!((p - 0.025).abs() < 5e-4, "got {p}");
+        // For df=1 (Cauchy), P(T > 1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn welch_identical_samples_insignificant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let w = welch_t_test(&a, &a);
+        assert!(w.p > 0.99, "identical samples: p = {}", w.p);
+    }
+
+    #[test]
+    fn welch_separated_samples_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 11.0 + (i % 3) as f64 * 0.1).collect();
+        let w = welch_t_test(&a, &b);
+        assert!(w.p < 0.001, "separated means: p = {}", w.p);
+        assert!(w.t < 0.0, "a < b gives negative t");
+    }
+
+    #[test]
+    fn welch_small_overlap_moderate_p() {
+        let a = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let b = [11.0, 12.0, 13.0, 14.0, 15.0];
+        let w = welch_t_test(&a, &b);
+        assert!(w.p > 0.1 && w.p < 0.9, "overlapping samples: p = {}", w.p);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        assert_eq!(welch_t_test(&[1.0], &[2.0, 3.0]).p, 1.0);
+        let w = welch_t_test(&[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(w.p, 1.0);
+        let w = welch_t_test(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(w.p, 0.0, "zero variance, different means");
+    }
+}

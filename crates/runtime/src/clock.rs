@@ -1,0 +1,155 @@
+//! The virtual clock: a deterministic cost model standing in for
+//! wall-clock time.
+//!
+//! The paper's table 7 compares *relative* times (GoFree/Go ratios) and
+//! derives GC time as `time − time_GCOff`. A cost model makes both exact
+//! and reproducible: every allocator, GC, and interpreter action charges a
+//! fixed number of ticks, optionally perturbed by seeded jitter so that
+//! repeated runs form a distribution (fig. 11).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tick charges for runtime events.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fast-path small allocation (mcache hit).
+    pub alloc_small: u64,
+    /// Refilling an mcache from the mcentral.
+    pub mcache_refill: u64,
+    /// Carving a fresh mspan out of the page heap.
+    pub span_create: u64,
+    /// Large (dedicated-span) allocation base cost.
+    pub alloc_large: u64,
+    /// Extra cost per page of a large allocation.
+    pub alloc_large_per_page: u64,
+    /// A `tcfree` attempt (status checks).
+    pub tcfree_attempt: u64,
+    /// Extra cost when a small free succeeds.
+    pub tcfree_small: u64,
+    /// Extra cost when a large free succeeds (page return + dangling mark).
+    pub tcfree_large: u64,
+    /// GC stop/start overhead per cycle.
+    pub gc_cycle_base: u64,
+    /// Marking one live object.
+    pub gc_mark_object: u64,
+    /// Scanning cost per 64 bytes of live data.
+    pub gc_scan_per_64b: u64,
+    /// Sweeping one span.
+    pub gc_sweep_span: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alloc_small: 8,
+            mcache_refill: 40,
+            span_create: 50,
+            alloc_large: 300,
+            alloc_large_per_page: 6,
+            tcfree_attempt: 4,
+            tcfree_small: 6,
+            tcfree_large: 80,
+            gc_cycle_base: 6000,
+            gc_mark_object: 10,
+            gc_scan_per_64b: 3,
+            gc_sweep_span: 40,
+        }
+    }
+}
+
+/// A monotone virtual clock with jittered charging.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    total: u64,
+    /// Jitter amplitude in parts-per-thousand (0 disables).
+    jitter_ppm: u64,
+}
+
+impl Clock {
+    /// Creates a clock; `jitter` is a fraction (e.g. 0.02 for ±2%).
+    pub fn new(jitter: f64) -> Self {
+        Clock {
+            total: 0,
+            jitter_ppm: (jitter.clamp(0.0, 0.5) * 1000.0) as u64,
+        }
+    }
+
+    /// Elapsed virtual ticks.
+    pub fn now(&self) -> u64 {
+        self.total
+    }
+
+    /// Charges exactly `ticks`.
+    pub fn charge(&mut self, ticks: u64) {
+        self.total += ticks;
+    }
+
+    /// Charges `ticks` perturbed by seeded jitter (for costs that vary in
+    /// real systems: refills, GC cycles, page faults).
+    pub fn charge_jittered(&mut self, ticks: u64, rng: &mut StdRng) {
+        if self.jitter_ppm == 0 || ticks == 0 {
+            self.total += ticks;
+            return;
+        }
+        let amp = self.jitter_ppm;
+        let factor = 1000 - amp + rng.gen_range(0..=2 * amp);
+        self.total += (ticks * factor) / 1000;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut c = Clock::new(0.0);
+        c.charge(5);
+        c.charge(7);
+        assert_eq!(c.now(), 12);
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Clock::new(0.0);
+        c.charge_jittered(1000, &mut rng);
+        assert_eq!(c.now(), 1000);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut c = Clock::new(0.1);
+        for _ in 0..100 {
+            let before = c.now();
+            c.charge_jittered(1000, &mut rng);
+            let d = c.now() - before;
+            assert!((900..=1100).contains(&d), "delta {d} out of ±10%");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Clock::new(0.05);
+            for _ in 0..10 {
+                c.charge_jittered(500, &mut rng);
+            }
+            c.now()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn default_costs_are_ordered() {
+        let m = CostModel::default();
+        assert!(m.alloc_small < m.mcache_refill);
+        assert!(m.mcache_refill < m.span_create);
+        assert!(m.tcfree_attempt < m.tcfree_large);
+    }
+}

@@ -1,0 +1,547 @@
+//! The heap: mspans, per-thread mcaches, the mcentral span pool, and the
+//! page heap (§3.3 and fig. 9 of the paper).
+//!
+//! Memory itself is simulated — the heap tracks addresses, occupancy
+//! bitmaps, and byte accounting; object payloads live in the VM. The
+//! structure mirrors Go's TCMalloc: small objects come from size-class
+//! mspans cached per thread (lock-free fast path), large objects get
+//! dedicated multi-page mspans pushed to the mcentral.
+
+use std::collections::HashSet;
+
+use crate::metrics::Category;
+use crate::sizeclass::{class_pages, class_size, class_slots, large_pages, PAGE_SIZE};
+
+/// Identifies an mspan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u32);
+
+/// The simulated address of a heap object: a span and a slot within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjAddr {
+    /// The owning span.
+    pub span: SpanId,
+    /// Slot index within the span (0 for large objects).
+    pub slot: u32,
+}
+
+/// An mspan: a run of pages carved into equal slots (small classes) or
+/// dedicated to one large object.
+#[derive(Debug, Clone)]
+pub struct Mspan {
+    /// Size class; `None` for a dedicated large-object span.
+    pub class: Option<usize>,
+    /// Pages backing the span.
+    pub npages: u32,
+    /// Bytes per slot (the rounded size class, or the large object size).
+    pub slot_size: u64,
+    /// Number of slots.
+    pub nslots: u32,
+    /// Allocation scan position: slots below it may still be allocated.
+    pub free_index: u32,
+    /// Occupancy bitmap.
+    pub alloc_bits: Vec<bool>,
+    /// Category per occupied slot (for tables 8/9 accounting).
+    pub cats: Vec<Option<Category>>,
+    /// Owning thread (mcache affinity).
+    pub owner: u32,
+    /// Whether the span currently sits in its owner's mcache.
+    pub in_mcache: bool,
+    /// Large-object 2-step free: pages returned, span struct awaiting the
+    /// next GC sweep (fig. 9 step 1).
+    pub dangling: bool,
+    /// Whether the span is live (backing pages held) at all.
+    pub active: bool,
+}
+
+impl Mspan {
+    /// Number of allocated slots.
+    pub fn live_slots(&self) -> u32 {
+        self.alloc_bits.iter().filter(|&&b| b).count() as u32
+    }
+
+    /// Whether every slot is taken.
+    pub fn is_full(&self) -> bool {
+        self.free_index >= self.nslots && self.alloc_bits[..self.nslots as usize].iter().all(|&b| b)
+    }
+
+    fn next_free(&self) -> Option<u32> {
+        (self.free_index..self.nslots).find(|&i| !self.alloc_bits[i as usize])
+    }
+}
+
+/// What the allocation fast path had to do (the runtime charges costs
+/// accordingly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocEvents {
+    /// The mcache had to be refilled from the mcentral.
+    pub refilled: bool,
+    /// A fresh span was carved from the page heap.
+    pub created_span: bool,
+}
+
+/// Result of a GC sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Freed objects: address, category, bytes.
+    pub freed: Vec<(ObjAddr, Category, u64)>,
+    /// Spans examined (cost accounting).
+    pub spans_swept: usize,
+}
+
+/// The simulated heap.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    spans: Vec<Mspan>,
+    /// mcaches[thread][class] = span currently cached.
+    mcaches: Vec<Vec<Option<SpanId>>>,
+    /// mcentral: per-class spans with free slots, not in any mcache.
+    partial: Vec<Vec<SpanId>>,
+    /// Span structs whose pages were returned (reusable).
+    idle: Vec<SpanId>,
+    /// Pages currently backing live spans.
+    pages_in_use: u64,
+    /// Live heap bytes (allocated minus freed/swept).
+    heap_live: u64,
+}
+
+impl Heap {
+    /// Creates a heap serving `threads` mcaches.
+    pub fn new(threads: usize) -> Self {
+        let classes = crate::sizeclass::class_count();
+        Heap {
+            spans: Vec::new(),
+            mcaches: vec![vec![None; classes]; threads.max(1)],
+            partial: vec![Vec::new(); classes],
+            idle: Vec::new(),
+            pages_in_use: 0,
+            heap_live: 0,
+        }
+    }
+
+    /// Live heap bytes.
+    pub fn heap_live(&self) -> u64 {
+        self.heap_live
+    }
+
+    /// Pages currently in use.
+    pub fn pages_in_use(&self) -> u64 {
+        self.pages_in_use
+    }
+
+    /// Read access to a span.
+    pub fn span(&self, id: SpanId) -> &Mspan {
+        &self.spans[id.0 as usize]
+    }
+
+    /// Mutable access to a span.
+    pub fn span_mut(&mut self, id: SpanId) -> &mut Mspan {
+        &mut self.spans[id.0 as usize]
+    }
+
+    /// Number of span structs ever created (tests).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Allocates a small object of the given class on `thread`.
+    pub fn alloc_small(
+        &mut self,
+        class: usize,
+        thread: u32,
+        cat: Category,
+    ) -> (ObjAddr, AllocEvents) {
+        let mut events = AllocEvents::default();
+        loop {
+            let cached = self.mcaches[thread as usize][class];
+            let sid = match cached {
+                Some(sid) if self.span(sid).next_free().is_some() => sid,
+                other => {
+                    // Swap the full span out of the cache (it keeps its
+                    // slots; tcfree will bail on it from now on).
+                    if let Some(full) = other {
+                        let s = self.span_mut(full);
+                        s.in_mcache = false;
+                    }
+                    events.refilled = true;
+                    let sid = self.refill(class, thread, &mut events);
+                    self.mcaches[thread as usize][class] = Some(sid);
+                    sid
+                }
+            };
+            let span = self.span_mut(sid);
+            if let Some(slot) = span.next_free() {
+                span.alloc_bits[slot as usize] = true;
+                span.cats[slot as usize] = Some(cat);
+                span.free_index = slot + 1;
+                let bytes = span.slot_size;
+                self.heap_live += bytes;
+                return (ObjAddr { span: sid, slot }, events);
+            }
+            // Raced our own bookkeeping (span filled): loop refills.
+        }
+    }
+
+    fn refill(&mut self, class: usize, thread: u32, events: &mut AllocEvents) -> SpanId {
+        // Try the mcentral's partial spans first.
+        while let Some(sid) = self.partial[class].pop() {
+            let span = self.span_mut(sid);
+            if span.active && !span.dangling && span.next_free().is_some() {
+                span.owner = thread;
+                span.in_mcache = true;
+                return sid;
+            }
+        }
+        events.created_span = true;
+        let npages = class_pages(class);
+        let slot_size = class_size(class);
+        let nslots = class_slots(class);
+        self.new_span(Some(class), npages, slot_size, nslots, thread, true)
+    }
+
+    fn new_span(
+        &mut self,
+        class: Option<usize>,
+        npages: u32,
+        slot_size: u64,
+        nslots: u32,
+        thread: u32,
+        in_mcache: bool,
+    ) -> SpanId {
+        self.pages_in_use += npages as u64;
+        let span = Mspan {
+            class,
+            npages,
+            slot_size,
+            nslots,
+            free_index: 0,
+            alloc_bits: vec![false; nslots as usize],
+            cats: vec![None; nslots as usize],
+            owner: thread,
+            in_mcache,
+            dangling: false,
+            active: true,
+        };
+        if let Some(sid) = self.idle.pop() {
+            self.spans[sid.0 as usize] = span;
+            sid
+        } else {
+            let sid = SpanId(self.spans.len() as u32);
+            self.spans.push(span);
+            sid
+        }
+    }
+
+    /// Allocates a large object in a dedicated span (fig. 9).
+    pub fn alloc_large(&mut self, size: u64, thread: u32, cat: Category) -> ObjAddr {
+        let npages = large_pages(size);
+        let sid = self.new_span(None, npages, size, 1, thread, false);
+        let span = self.span_mut(sid);
+        span.alloc_bits[0] = true;
+        span.cats[0] = Some(cat);
+        span.free_index = 1;
+        self.heap_live += size;
+        ObjAddr { span: sid, slot: 0 }
+    }
+
+    /// Explicitly frees a small object: reverts the allocation index when
+    /// the object is on top, otherwise just clears its bit (the slot is
+    /// reused after the next sweep). Returns the freed bytes.
+    pub fn free_small(&mut self, addr: ObjAddr) -> u64 {
+        let span = self.span_mut(addr.span);
+        debug_assert!(span.alloc_bits[addr.slot as usize]);
+        span.alloc_bits[addr.slot as usize] = false;
+        span.cats[addr.slot as usize] = None;
+        if addr.slot + 1 == span.free_index {
+            // Revert the allocator pointer; cascade over earlier frees.
+            while span.free_index > 0 && !span.alloc_bits[span.free_index as usize - 1] {
+                span.free_index -= 1;
+            }
+        }
+        let bytes = span.slot_size;
+        self.heap_live -= bytes;
+        bytes
+    }
+
+    /// Step 1 of the large-object free (fig. 9): return the pages and mark
+    /// the span dangling. Returns the freed bytes.
+    pub fn free_large_step1(&mut self, addr: ObjAddr) -> u64 {
+        let npages;
+        let bytes;
+        {
+            let span = self.span_mut(addr.span);
+            debug_assert!(span.class.is_none() && span.alloc_bits[0]);
+            span.alloc_bits[0] = false;
+            span.cats[0] = None;
+            span.dangling = true;
+            npages = span.npages;
+            bytes = span.slot_size;
+        }
+        self.pages_in_use -= npages as u64;
+        self.heap_live -= bytes;
+        bytes
+    }
+
+    /// Whether an address is currently allocated.
+    pub fn is_allocated(&self, addr: ObjAddr) -> bool {
+        let span = self.span(addr.span);
+        span.active && !span.dangling && span.alloc_bits[addr.slot as usize]
+    }
+
+    /// Flushes every span of `thread`'s mcache back to the mcentral
+    /// (simulated scheduler migration).
+    pub fn flush_mcache(&mut self, thread: u32) {
+        let classes = self.mcaches[thread as usize].len();
+        for class in 0..classes {
+            if let Some(sid) = self.mcaches[thread as usize][class].take() {
+                let span = self.span_mut(sid);
+                span.in_mcache = false;
+                if span.next_free().is_some() {
+                    self.partial[class].push(sid);
+                }
+            }
+        }
+    }
+
+    /// Sweeps the heap after a mark phase: unmarked allocated slots are
+    /// freed, dangling large spans complete step 2 (returned to the idle
+    /// list), and empty spans give their pages back.
+    pub fn sweep(&mut self, marked: &HashSet<ObjAddr>) -> SweepOutcome {
+        let mut out = SweepOutcome::default();
+        for i in 0..self.spans.len() {
+            let sid = SpanId(i as u32);
+            if !self.spans[i].active {
+                continue;
+            }
+            out.spans_swept += 1;
+            if self.spans[i].dangling {
+                // Fig. 9 step 2: the span struct joins the idle list.
+                self.retire_span(sid);
+                continue;
+            }
+            let nslots = self.spans[i].nslots;
+            for slot in 0..nslots {
+                if self.spans[i].alloc_bits[slot as usize]
+                    && !marked.contains(&ObjAddr { span: sid, slot })
+                {
+                    let cat = self.spans[i].cats[slot as usize].unwrap_or(Category::Other);
+                    let bytes = self.spans[i].slot_size;
+                    self.spans[i].alloc_bits[slot as usize] = false;
+                    self.spans[i].cats[slot as usize] = None;
+                    self.heap_live -= bytes;
+                    out.freed.push((ObjAddr { span: sid, slot }, cat, bytes));
+                }
+            }
+            let span = &mut self.spans[i];
+            span.free_index = 0;
+            if span.live_slots() == 0 && !span.in_mcache {
+                self.retire_span(sid);
+            }
+        }
+        // Rebuild the mcentral partial lists.
+        for list in &mut self.partial {
+            list.clear();
+        }
+        for i in 0..self.spans.len() {
+            let s = &self.spans[i];
+            if s.active && !s.in_mcache && !s.dangling {
+                if let Some(class) = s.class {
+                    if s.next_free().is_some() {
+                        self.partial[class].push(SpanId(i as u32));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn retire_span(&mut self, sid: SpanId) {
+        let span = self.span_mut(sid);
+        if span.active {
+            let npages = span.npages;
+            let was_dangling = span.dangling;
+            span.active = false;
+            span.dangling = false;
+            span.in_mcache = false;
+            if !was_dangling {
+                // Dangling spans already returned their pages in step 1.
+                self.pages_in_use -= npages as u64;
+            }
+        }
+        self.idle.push(sid);
+    }
+
+    /// All currently allocated addresses (used by the end-of-run
+    /// accounting and by tests).
+    pub fn live_objects(&self) -> Vec<(ObjAddr, Category, u64)> {
+        let mut out = Vec::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            if !span.active || span.dangling {
+                continue;
+            }
+            for slot in 0..span.nslots {
+                if span.alloc_bits[slot as usize] {
+                    out.push((
+                        ObjAddr {
+                            span: SpanId(i as u32),
+                            slot,
+                        },
+                        span.cats[slot as usize].unwrap_or(Category::Other),
+                        span.slot_size,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Estimated total heap footprint in bytes (pages held by live spans).
+pub fn footprint(heap: &Heap) -> u64 {
+    heap.pages_in_use() * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizeclass::class_for;
+
+    #[test]
+    fn small_alloc_bumps_and_accounts() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let (a, ev) = h.alloc_small(class, 0, Category::Slice);
+        assert!(ev.refilled && ev.created_span);
+        assert_eq!(a.slot, 0);
+        assert_eq!(h.heap_live(), 64);
+        let (b, ev2) = h.alloc_small(class, 0, Category::Slice);
+        assert_eq!(ev2, AllocEvents::default(), "fast path after refill");
+        assert_eq!(b.slot, 1);
+        assert_eq!(h.heap_live(), 128);
+    }
+
+    #[test]
+    fn top_free_reverts_index() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let (a, _) = h.alloc_small(class, 0, Category::Slice);
+        let (b, _) = h.alloc_small(class, 0, Category::Slice);
+        assert_eq!(h.free_small(b), 64);
+        // Slot b is immediately reusable.
+        let (c, _) = h.alloc_small(class, 0, Category::Slice);
+        assert_eq!(c.slot, b.slot);
+        assert!(h.is_allocated(a));
+    }
+
+    #[test]
+    fn cascading_revert() {
+        let mut h = Heap::new(1);
+        let class = class_for(32);
+        let (a, _) = h.alloc_small(class, 0, Category::Other);
+        let (b, _) = h.alloc_small(class, 0, Category::Other);
+        let (c, _) = h.alloc_small(class, 0, Category::Other);
+        h.free_small(b); // middle: bit cleared, index stays
+        assert_eq!(h.span(c.span).free_index, 3);
+        h.free_small(c); // top: cascades past b down to 1
+        assert_eq!(h.span(c.span).free_index, 1);
+        assert!(h.is_allocated(a));
+    }
+
+    #[test]
+    fn span_fills_and_refills() {
+        let mut h = Heap::new(1);
+        let class = class_for(4096);
+        let slots = class_slots(class);
+        let mut first_span = None;
+        for i in 0..=slots {
+            let (a, _) = h.alloc_small(class, 0, Category::Other);
+            if i == 0 {
+                first_span = Some(a.span);
+            }
+            if i == slots {
+                assert_ne!(Some(a.span), first_span, "rolled to a new span");
+            }
+        }
+        let old = first_span.unwrap();
+        assert!(!h.span(old).in_mcache, "full span left the mcache");
+    }
+
+    #[test]
+    fn large_alloc_and_two_step_free() {
+        let mut h = Heap::new(1);
+        let a = h.alloc_large(100_000, 0, Category::Slice);
+        assert_eq!(h.pages_in_use(), 13);
+        assert_eq!(h.heap_live(), 100_000);
+        let freed = h.free_large_step1(a);
+        assert_eq!(freed, 100_000);
+        assert_eq!(h.pages_in_use(), 0, "step 1 returns the pages");
+        assert!(h.span(a.span).dangling);
+        assert!(!h.is_allocated(a));
+        // Step 2 happens at sweep: the span struct becomes reusable.
+        let out = h.sweep(&HashSet::new());
+        assert!(out.freed.is_empty());
+        assert!(!h.span(a.span).active);
+        let b = h.alloc_large(8192, 0, Category::Map);
+        assert_eq!(b.span, a.span, "idle span struct reused");
+    }
+
+    #[test]
+    fn sweep_frees_unmarked_and_reports_categories() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let (a, _) = h.alloc_small(class, 0, Category::Slice);
+        let (b, _) = h.alloc_small(class, 0, Category::Map);
+        let marked: HashSet<ObjAddr> = [a].into_iter().collect();
+        let out = h.sweep(&marked);
+        let freed: Vec<_> = out.freed.iter().map(|(ad, c, _)| (*ad, *c)).collect();
+        assert_eq!(freed, vec![(b, Category::Map)]);
+        assert!(h.is_allocated(a));
+        assert_eq!(h.heap_live(), 64);
+    }
+
+    #[test]
+    fn sweep_makes_freed_slots_reusable() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let (a, _) = h.alloc_small(class, 0, Category::Other);
+        let (_b, _) = h.alloc_small(class, 0, Category::Other);
+        h.sweep(&HashSet::new()); // everything dies
+        assert_eq!(h.heap_live(), 0);
+        let (c, _) = h.alloc_small(class, 0, Category::Other);
+        assert_eq!(c.slot, 0, "allocation restarts at the swept span's base");
+        assert_eq!(c.span, a.span);
+    }
+
+    #[test]
+    fn flush_mcache_disowns_spans() {
+        let mut h = Heap::new(2);
+        let class = class_for(64);
+        let (a, _) = h.alloc_small(class, 0, Category::Other);
+        assert!(h.span(a.span).in_mcache);
+        h.flush_mcache(0);
+        assert!(!h.span(a.span).in_mcache);
+        // Thread 1 can pick the span up from the mcentral.
+        let (b, _) = h.alloc_small(class, 1, Category::Other);
+        assert_eq!(b.span, a.span);
+        assert_eq!(h.span(b.span).owner, 1);
+    }
+
+    #[test]
+    fn live_objects_enumerates_everything() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        h.alloc_small(class, 0, Category::Slice);
+        h.alloc_large(50_000, 0, Category::Map);
+        let live = h.live_objects();
+        assert_eq!(live.len(), 2);
+        let cats: Vec<_> = live.iter().map(|(_, c, _)| *c).collect();
+        assert!(cats.contains(&Category::Slice) && cats.contains(&Category::Map));
+    }
+
+    #[test]
+    fn footprint_counts_pages() {
+        let mut h = Heap::new(1);
+        h.alloc_large(PAGE_SIZE * 3, 0, Category::Other);
+        assert_eq!(footprint(&h), PAGE_SIZE * 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # minigo-runtime
+//!
+//! The managed-runtime substrate for the GoFree reproduction: a
+//! TCMalloc-style size-segregated thread-caching allocator (mspans,
+//! mcaches, mcentral, page heap — §3.3 of the paper), a non-moving
+//! mark-sweep GC with GOGC pacing and a simulated concurrent-mark window,
+//! and the `tcfree` explicit-deallocation primitive family of §5 —
+//! including the small-object allocation-index revert, the large-object
+//! two-step dangling-span protocol, best-effort bail-outs, tolerated
+//! double frees, and the §6.8 poison ("mock tcfree") mode.
+//!
+//! Time is a deterministic virtual clock driven by a cost model, so the
+//! relative measurements of the paper's evaluation (time ratios, GC time
+//! via GC-off subtraction) are exact and reproducible per seed.
+//!
+//! ```
+//! use minigo_runtime::{Category, FreeOutcome, FreeSource, Runtime, RuntimeConfig};
+//!
+//! let mut rt = Runtime::new(RuntimeConfig { migrate_prob: 0.0, ..RuntimeConfig::default() });
+//! let addr = rt.alloc(1024, Category::Slice);
+//! match rt.tcfree(addr, FreeSource::SliceLifetime) {
+//!     FreeOutcome::Freed { bytes } => assert_eq!(bytes, 1024),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod heap;
+pub mod metrics;
+pub mod runtime;
+pub mod sizeclass;
+
+pub use clock::{Clock, CostModel};
+pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SpanId, SweepOutcome};
+pub use metrics::{BailReason, Category, FreeSource, Metrics};
+pub use runtime::{FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
+pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};

@@ -1,0 +1,534 @@
+//! The runtime facade: allocation, GC pacing, and the `tcfree` family
+//! (§5 of the paper).
+//!
+//! The VM drives it: `alloc` on every heap allocation, `tcfree` for
+//! inserted frees, and — whenever [`Runtime::gc_pending`] turns true at a
+//! statement boundary — a mark pass followed by [`Runtime::collect`].
+//!
+//! Concurrency effects are simulated with seeded randomness: scheduler
+//! migrations flush the current thread's mcache (making `tcfree` bail with
+//! `OwnershipChanged`), and each GC cycle opens a "concurrent mark" window
+//! over the next allocations during which `tcfree` bails with `GcRunning`.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{Clock, CostModel};
+use crate::heap::{footprint, Heap, ObjAddr, SweepOutcome};
+use crate::metrics::{BailReason, Category, FreeSource, Metrics};
+use crate::sizeclass::{class_for, class_size, large_pages, MAX_SMALL_SIZE};
+
+/// How the §6.8 robustness mock corrupts memory instead of freeing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonMode {
+    /// Normal operation: really deallocate.
+    Off,
+    /// Mock: report `Poisoned` where a free would happen; the VM zeroes
+    /// the payload.
+    Zero,
+    /// Mock: the VM flips all bits of the payload.
+    Flip,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Whether GC runs at all (the paper's Go-GCOff setting disables it).
+    pub gc_enabled: bool,
+    /// GOGC: heap growth percentage between collections.
+    pub gogc: u64,
+    /// Minimum heap size before the first collection triggers.
+    pub min_heap: u64,
+    /// Simulated threads (mcaches).
+    pub threads: u32,
+    /// Per-allocation probability of a scheduler migration that flushes
+    /// the current mcache.
+    pub migrate_prob: f64,
+    /// RNG seed (jitter + migrations); distinct seeds give the fig. 11
+    /// run-to-run distribution.
+    pub seed: u64,
+    /// Clock jitter amplitude (fraction).
+    pub jitter: f64,
+    /// The concurrent-mark window: GC stays "running" for
+    /// `live_objects / gc_assist_divisor` allocations before the sweep.
+    pub gc_assist_divisor: u64,
+    /// §6.8 robustness mock.
+    pub poison: PoisonMode,
+    /// Tick charges.
+    pub costs: CostModel,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            gc_enabled: true,
+            gogc: 100,
+            min_heap: 512 * 1024,
+            threads: 4,
+            migrate_prob: 0.0005,
+            seed: 0,
+            jitter: 0.02,
+            gc_assist_divisor: 16,
+            poison: PoisonMode::Off,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+/// What a `tcfree` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeOutcome {
+    /// The object was deallocated.
+    Freed {
+        /// Bytes returned to the allocator.
+        bytes: u64,
+    },
+    /// Poison mode: the object stays allocated; the VM must corrupt its
+    /// payload.
+    Poisoned,
+    /// The free gave up (§5): the object is left for GC.
+    Bailed(BailReason),
+}
+
+/// The simulated Go runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    heap: Heap,
+    clock: Clock,
+    metrics: Metrics,
+    rng: StdRng,
+    current_thread: u32,
+    gc_running: bool,
+    assist_left: u64,
+    next_gc: u64,
+    live_objects: u64,
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let clock = Clock::new(cfg.jitter);
+        let heap = Heap::new(cfg.threads as usize);
+        let next_gc = cfg.min_heap;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Runtime {
+            cfg,
+            heap,
+            clock,
+            metrics: Metrics::default(),
+            rng,
+            current_thread: 0,
+            gc_running: false,
+            assist_left: 0,
+            next_gc,
+            live_objects: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Collected metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (the VM records stack allocations and
+    /// interpreter-side counters here).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Elapsed virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Charges interpreter work to the clock.
+    pub fn tick(&mut self, ticks: u64) {
+        self.clock.charge(ticks);
+    }
+
+    /// Current live heap bytes.
+    pub fn heap_live(&self) -> u64 {
+        self.heap.heap_live()
+    }
+
+    /// Whether a collection should run at the next safepoint.
+    pub fn gc_pending(&self) -> bool {
+        self.gc_running && self.assist_left == 0
+    }
+
+    /// Whether the concurrent mark window is open (tcfree bails).
+    pub fn gc_running(&self) -> bool {
+        self.gc_running
+    }
+
+    /// Allocates `size` bytes of category `cat`. Returns the address; the
+    /// VM stores the payload under it.
+    pub fn alloc(&mut self, size: u64, cat: Category) -> ObjAddr {
+        // Simulated scheduler migration.
+        if self.cfg.migrate_prob > 0.0 && self.rng.gen_bool(self.cfg.migrate_prob) {
+            self.heap.flush_mcache(self.current_thread);
+            self.current_thread = (self.current_thread + 1) % self.cfg.threads.max(1);
+        }
+
+        let size = size.max(8);
+        let addr = if size <= MAX_SMALL_SIZE {
+            let class = class_for(size);
+            let (addr, events) = self.heap.alloc_small(class, self.current_thread, cat);
+            self.clock.charge(self.cfg.costs.alloc_small);
+            if events.refilled {
+                let c = self.cfg.costs.mcache_refill;
+                self.clock.charge_jittered(c, &mut self.rng);
+            }
+            if events.created_span {
+                let c = self.cfg.costs.span_create;
+                self.clock.charge_jittered(c, &mut self.rng);
+            }
+            self.metrics.alloced_bytes += class_size(class);
+            addr
+        } else {
+            let addr = self.heap.alloc_large(size, self.current_thread, cat);
+            let c = self.cfg.costs.alloc_large
+                + self.cfg.costs.alloc_large_per_page * large_pages(size) as u64;
+            self.clock.charge_jittered(c, &mut self.rng);
+            self.metrics.alloced_bytes += size;
+            addr
+        };
+        self.metrics.alloced_objects += 1;
+        self.metrics.heap_allocs[cat.index()] += 1;
+        self.live_objects += 1;
+        // maxheap is the page-level footprint (like RSS), not live bytes:
+        // small-object frees only make slots reusable, while large-object
+        // frees return whole pages — exactly the distinction fig. 10's
+        // heap-size results rest on.
+        self.metrics.maxheap = self.metrics.maxheap.max(footprint(&self.heap));
+
+        // GC pacing.
+        if self.cfg.gc_enabled {
+            if self.gc_running {
+                self.assist_left = self.assist_left.saturating_sub(1);
+            } else if self.heap.heap_live() >= self.next_gc {
+                self.gc_running = true;
+                // The concurrent mark window: long enough that some tcfree
+                // calls race the collector and bail (§5), short relative to
+                // the program so the collector keeps up with allocation.
+                self.assist_left =
+                    (self.live_objects / self.cfg.gc_assist_divisor.max(1)).clamp(16, 96);
+            }
+        }
+        addr
+    }
+
+    /// The `tcfree` primitive (§5): best-effort explicit deallocation.
+    /// `TcfreeSlice`/`TcfreeMap` unwrap to this after the VM extracts the
+    /// underlying array/bucket address.
+    pub fn tcfree(&mut self, addr: ObjAddr, source: FreeSource) -> FreeOutcome {
+        self.tcfree_inner(addr, source, true)
+    }
+
+    /// Batched `tcfree` (§5, "Possibility of Batching"): adjacent frees in
+    /// the same scope share one call overhead. The paper notes this
+    /// "typically offers limited performance gains since few objects are
+    /// freed in a single scope" — the `batching` experiment measures it.
+    pub fn tcfree_batch(&mut self, requests: &[(ObjAddr, FreeSource)]) -> Vec<FreeOutcome> {
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, source))| self.tcfree_inner(addr, source, i == 0))
+            .collect()
+    }
+
+    /// A `tcfree` that continues an open batch: the call overhead was
+    /// already paid by the batch's first free.
+    pub fn tcfree_continue(&mut self, addr: ObjAddr, source: FreeSource) -> FreeOutcome {
+        self.tcfree_inner(addr, source, false)
+    }
+
+    fn tcfree_inner(
+        &mut self,
+        addr: ObjAddr,
+        source: FreeSource,
+        charge_attempt: bool,
+    ) -> FreeOutcome {
+        self.metrics.tcfree_attempts += 1;
+        if charge_attempt {
+            self.clock.charge(self.cfg.costs.tcfree_attempt);
+        } else {
+            // Batched follow-ups still pay the per-object status checks
+            // (most of tcfree's cost, per §5), just not the call overhead.
+            self.clock
+                .charge(self.cfg.costs.tcfree_attempt.saturating_sub(2));
+        }
+
+        if self.gc_running {
+            return self.bail(BailReason::GcRunning);
+        }
+        if !self.heap.is_allocated(addr) {
+            // Tolerated double free (§5): ignore already-freed memory.
+            return self.bail(BailReason::AlreadyFree);
+        }
+        let span = self.heap.span(addr.span);
+        let is_large = span.class.is_none();
+        if !is_large {
+            if !span.in_mcache {
+                return self.bail(BailReason::SpanSwappedOut);
+            }
+            if span.owner != self.current_thread {
+                return self.bail(BailReason::OwnershipChanged);
+            }
+        }
+        if self.cfg.poison != PoisonMode::Off {
+            return FreeOutcome::Poisoned;
+        }
+        let cat = span.cats[addr.slot as usize].unwrap_or(Category::Other);
+        let bytes = if is_large {
+            let b = self.heap.free_large_step1(addr);
+            self.clock.charge(self.cfg.costs.tcfree_large);
+            b
+        } else {
+            let b = self.heap.free_small(addr);
+            self.clock.charge(self.cfg.costs.tcfree_small);
+            b
+        };
+        self.live_objects = self.live_objects.saturating_sub(1);
+        self.metrics.freed_bytes += bytes;
+        self.metrics.freed_bytes_by_source[source.index()] += bytes;
+        self.metrics.freed_objects_by_source[source.index()] += 1;
+        self.metrics.heap_tcfreed[cat.index()] += 1;
+        FreeOutcome::Freed { bytes }
+    }
+
+    fn bail(&mut self, reason: BailReason) -> FreeOutcome {
+        self.metrics.tcfree_bails[reason.index()] += 1;
+        FreeOutcome::Bailed(reason)
+    }
+
+    /// Runs a collection: `marked` is the set of reachable addresses the
+    /// VM computed. Returns the sweep result so the VM can drop payloads.
+    pub fn collect(&mut self, marked: &HashSet<ObjAddr>) -> SweepOutcome {
+        let before = self.clock.now();
+        // Mark cost: proportional to survivors and their bytes.
+        let mut mark_cost = self.cfg.costs.gc_cycle_base;
+        for addr in marked {
+            if self.heap.is_allocated(*addr) {
+                let bytes = self.heap.span(addr.span).slot_size;
+                mark_cost += self.cfg.costs.gc_mark_object
+                    + self.cfg.costs.gc_scan_per_64b * bytes.div_ceil(64);
+            }
+        }
+        self.clock.charge_jittered(mark_cost, &mut self.rng);
+
+        let out = self.heap.sweep(marked);
+        self.clock
+            .charge(self.cfg.costs.gc_sweep_span * out.spans_swept as u64);
+        for (_, cat, _) in &out.freed {
+            self.metrics.heap_gced[cat.index()] += 1;
+            self.live_objects = self.live_objects.saturating_sub(1);
+        }
+
+        let heap_marked = self.heap.heap_live();
+        self.next_gc = (heap_marked + heap_marked * self.cfg.gogc / 100).max(self.cfg.min_heap);
+        self.gc_running = false;
+        self.assist_left = 0;
+        self.metrics.gcs += 1;
+        self.metrics.gc_ticks += self.clock.now() - before;
+        out
+    }
+
+    /// End-of-run accounting: objects still alive would eventually be
+    /// collected, so they count toward the GC columns of table 8.
+    pub fn finalize(&mut self) {
+        self.metrics.maxheap = self.metrics.maxheap.max(footprint(&self.heap));
+        for (_, cat, _) in self.heap.live_objects() {
+            self.metrics.heap_gced[cat.index()] += 1;
+        }
+    }
+
+    /// Total heap footprint in bytes (pages held).
+    pub fn footprint(&self) -> u64 {
+        footprint(&self.heap)
+    }
+
+    /// Test-only: force the GC-running window open.
+    #[doc(hidden)]
+    pub fn force_gc_window(&mut self, assists: u64) {
+        self.gc_running = true;
+        self.assist_left = assists;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            migrate_prob: 0.0,
+            jitter: 0.0,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(100, Category::Slice);
+        assert_eq!(rt.heap_live(), 112, "rounded to the size class");
+        let out = rt.tcfree(a, FreeSource::SliceLifetime);
+        assert_eq!(out, FreeOutcome::Freed { bytes: 112 });
+        assert_eq!(rt.heap_live(), 0);
+        assert_eq!(rt.metrics().freed_bytes, 112);
+        assert!((rt.metrics().free_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_free_is_tolerated() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(64, Category::Slice);
+        assert!(matches!(
+            rt.tcfree(a, FreeSource::SliceLifetime),
+            FreeOutcome::Freed { .. }
+        ));
+        assert_eq!(
+            rt.tcfree(a, FreeSource::SliceLifetime),
+            FreeOutcome::Bailed(BailReason::AlreadyFree)
+        );
+    }
+
+    #[test]
+    fn tcfree_bails_during_gc_window() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(64, Category::Slice);
+        rt.force_gc_window(100);
+        assert_eq!(
+            rt.tcfree(a, FreeSource::SliceLifetime),
+            FreeOutcome::Bailed(BailReason::GcRunning)
+        );
+        assert_eq!(rt.metrics().tcfree_bails[BailReason::GcRunning.index()], 1);
+    }
+
+    #[test]
+    fn tcfree_bails_after_migration() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            migrate_prob: 1.0, // migrate on every allocation
+            jitter: 0.0,
+            threads: 2,
+            ..RuntimeConfig::default()
+        });
+        let a = rt.alloc(64, Category::Slice);
+        // Allocating again migrates and flushes the mcache holding a's
+        // span; the different size class keeps it in the mcentral.
+        let _b = rt.alloc(4096, Category::Slice);
+        let out = rt.tcfree(a, FreeSource::SliceLifetime);
+        assert!(
+            matches!(
+                out,
+                FreeOutcome::Bailed(BailReason::SpanSwappedOut)
+                    | FreeOutcome::Bailed(BailReason::OwnershipChanged)
+            ),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn gc_triggers_by_pacing_and_collects() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            min_heap: 4096,
+            gc_assist_divisor: u64::MAX, // close the window immediately
+            ..quiet_cfg()
+        });
+        let mut addrs = Vec::new();
+        while !rt.gc_pending() {
+            addrs.push(rt.alloc(512, Category::Other));
+            assert!(addrs.len() < 100, "pacing never triggered");
+        }
+        // Keep half alive.
+        let marked: HashSet<ObjAddr> = addrs.iter().step_by(2).copied().collect();
+        let out = rt.collect(&marked);
+        assert_eq!(out.freed.len(), addrs.len() - marked.len());
+        assert_eq!(rt.metrics().gcs, 1);
+        assert!(rt.metrics().gc_ticks > 0);
+        assert!(!rt.gc_running());
+    }
+
+    #[test]
+    fn gc_off_never_triggers() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            gc_enabled: false,
+            min_heap: 1024,
+            ..quiet_cfg()
+        });
+        for _ in 0..1000 {
+            rt.alloc(512, Category::Other);
+        }
+        assert!(!rt.gc_pending());
+        assert_eq!(rt.metrics().gcs, 0);
+    }
+
+    #[test]
+    fn large_objects_roundtrip_with_two_step() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(100_000, Category::Slice);
+        let out = rt.tcfree(a, FreeSource::SliceLifetime);
+        assert_eq!(out, FreeOutcome::Freed { bytes: 100_000 });
+        assert_eq!(rt.footprint(), 0, "pages returned in step 1");
+    }
+
+    #[test]
+    fn poison_mode_reports_without_freeing() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            poison: PoisonMode::Zero,
+            ..quiet_cfg()
+        });
+        let a = rt.alloc(64, Category::Slice);
+        assert_eq!(rt.tcfree(a, FreeSource::SliceLifetime), FreeOutcome::Poisoned);
+        assert_eq!(rt.heap_live(), 64, "object stays allocated");
+        assert_eq!(rt.metrics().freed_bytes, 0);
+    }
+
+    #[test]
+    fn finalize_accounts_leftovers_as_gc() {
+        let mut rt = Runtime::new(quiet_cfg());
+        rt.alloc(64, Category::Map);
+        rt.finalize();
+        assert_eq!(rt.metrics().heap_gced[Category::Map.index()], 1);
+    }
+
+    #[test]
+    fn metrics_track_sources() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(64, Category::Map);
+        let b = rt.alloc(64, Category::Map);
+        rt.tcfree(a, FreeSource::MapGrowOld);
+        rt.tcfree(b, FreeSource::MapLifetime);
+        let shares = rt.metrics().source_shares();
+        assert!((shares[FreeSource::MapGrowOld.index()] - 0.5).abs() < 1e-9);
+        assert!((shares[FreeSource::MapLifetime.index()] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_identical_clocks() {
+        let run = |seed| {
+            let mut rt = Runtime::new(RuntimeConfig {
+                seed,
+                ..RuntimeConfig::default()
+            });
+            for i in 0..500 {
+                let a = rt.alloc(64 + (i % 7) * 100, Category::Slice);
+                if i % 3 == 0 {
+                    rt.tcfree(a, FreeSource::SliceLifetime);
+                }
+            }
+            rt.now()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds perturb the clock");
+    }
+}

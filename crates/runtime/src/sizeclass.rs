@@ -1,0 +1,118 @@
+//! Size-segregated allocation classes, mirroring Go's TCMalloc-derived
+//! allocator (§3.3 of the paper).
+//!
+//! Objects up to [`MAX_SMALL_SIZE`] are rounded up to one of the size
+//! classes and allocated from per-class mspans; larger objects get a
+//! dedicated multi-page mspan.
+
+/// Bytes per heap page (Go uses 8 KiB pages).
+pub const PAGE_SIZE: u64 = 8192;
+
+/// Largest object served from size-class mspans; bigger objects get
+/// dedicated spans.
+pub const MAX_SMALL_SIZE: u64 = 32768;
+
+/// The size classes (a representative subset of Go's 67 classes).
+pub const SIZE_CLASSES: &[u64] = &[
+    8, 16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896,
+    1024, 1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192, 10240, 12288,
+    16384, 20480, 24576, 32768,
+];
+
+/// Number of size classes.
+pub fn class_count() -> usize {
+    SIZE_CLASSES.len()
+}
+
+/// The smallest class index whose slot size fits `size`.
+///
+/// # Panics
+///
+/// Panics if `size > MAX_SMALL_SIZE`; use a large allocation instead.
+pub fn class_for(size: u64) -> usize {
+    assert!(
+        size <= MAX_SMALL_SIZE,
+        "size {size} exceeds the largest small class"
+    );
+    match SIZE_CLASSES.binary_search(&size.max(8)) {
+        Ok(i) => i,
+        Err(i) => i,
+    }
+}
+
+/// Slot size of a class.
+pub fn class_size(class: usize) -> u64 {
+    SIZE_CLASSES[class]
+}
+
+/// Pages per mspan of a class: enough for at least 8 slots (capped at 4
+/// pages for the biggest classes, which then hold fewer slots).
+pub fn class_pages(class: usize) -> u32 {
+    let size = SIZE_CLASSES[class];
+    let want = (size * 8).div_ceil(PAGE_SIZE);
+    want.clamp(1, 4) as u32
+}
+
+/// Slots per mspan of a class.
+pub fn class_slots(class: usize) -> u32 {
+    ((class_pages(class) as u64 * PAGE_SIZE) / SIZE_CLASSES[class]) as u32
+}
+
+/// Pages needed for a large (dedicated-span) allocation.
+pub fn large_pages(size: u64) -> u32 {
+    size.div_ceil(PAGE_SIZE).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_and_unique() {
+        for w in SIZE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*SIZE_CLASSES.last().unwrap(), MAX_SMALL_SIZE);
+    }
+
+    #[test]
+    fn class_for_rounds_up() {
+        assert_eq!(class_size(class_for(1)), 8);
+        assert_eq!(class_size(class_for(8)), 8);
+        assert_eq!(class_size(class_for(9)), 16);
+        assert_eq!(class_size(class_for(100)), 112);
+        assert_eq!(class_size(class_for(32768)), 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn class_for_rejects_large() {
+        class_for(MAX_SMALL_SIZE + 1);
+    }
+
+    #[test]
+    fn every_class_fits_its_slots() {
+        for c in 0..class_count() {
+            let slots = class_slots(c);
+            assert!(slots >= 1, "class {c} has no slots");
+            assert!(
+                slots as u64 * class_size(c) <= class_pages(c) as u64 * PAGE_SIZE,
+                "class {c} overflows its pages"
+            );
+        }
+    }
+
+    #[test]
+    fn small_classes_have_many_slots() {
+        assert!(class_slots(class_for(8)) >= 512);
+        assert!(class_slots(class_for(4096)) >= 8);
+    }
+
+    #[test]
+    fn large_pages_rounds_up() {
+        assert_eq!(large_pages(1), 1);
+        assert_eq!(large_pages(8192), 1);
+        assert_eq!(large_pages(8193), 2);
+        assert_eq!(large_pages(100_000), 13);
+    }
+}

@@ -1,0 +1,159 @@
+//! Model-based testing of the heap: random interleavings of allocation,
+//! explicit freeing, and GC sweeps are checked against a simple reference
+//! model of which objects must be live.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use minigo_runtime::{
+    class_for, class_size, Category, FreeOutcome, FreeSource, ObjAddr, Runtime, RuntimeConfig,
+    MAX_SMALL_SIZE, PAGE_SIZE,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    Free(usize),
+    Collect { keep_mod: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (8u64..100_000).prop_map(Op::Alloc),
+        any::<usize>().prop_map(Op::Free),
+        (1usize..5).prop_map(|keep_mod| Op::Collect { keep_mod }),
+    ]
+}
+
+fn rounded(size: u64) -> u64 {
+    if size <= MAX_SMALL_SIZE {
+        class_size(class_for(size))
+    } else {
+        size
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heap's live-byte accounting always equals the model's, objects
+    /// the model considers live are always still allocated, and the page
+    /// footprint always covers the live bytes.
+    #[test]
+    fn heap_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut rt = Runtime::new(RuntimeConfig {
+            migrate_prob: 0.0,
+            jitter: 0.0,
+            gc_enabled: false, // collections are explicit in this model
+            ..RuntimeConfig::default()
+        });
+        // model: addr -> rounded size of live objects.
+        let mut model: HashMap<ObjAddr, u64> = HashMap::new();
+        let mut order: Vec<ObjAddr> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    let addr = rt.alloc(size, Category::Other);
+                    prop_assert!(!model.contains_key(&addr), "address {addr:?} double-issued");
+                    model.insert(addr, rounded(size.max(8)));
+                    order.push(addr);
+                }
+                Op::Free(idx) => {
+                    if order.is_empty() {
+                        continue;
+                    }
+                    let addr = order[idx % order.len()];
+                    match rt.tcfree(addr, FreeSource::SliceLifetime) {
+                        FreeOutcome::Freed { bytes } => {
+                            let expected = model.remove(&addr);
+                            prop_assert_eq!(expected, Some(bytes), "freed bytes mismatch");
+                        }
+                        FreeOutcome::Bailed(_) => {
+                            // Either already freed (not in model) or a
+                            // legitimate bail (span state); both leave the
+                            // model unchanged. If it IS in the model the
+                            // object must still be allocated.
+                        }
+                        FreeOutcome::Poisoned => prop_assert!(false, "poison off"),
+                    }
+                }
+                Op::Collect { keep_mod } => {
+                    let marked: HashSet<ObjAddr> = order
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, a)| i % keep_mod == 0 && model.contains_key(a))
+                        .map(|(_, a)| *a)
+                        .collect();
+                    let swept = rt.collect(&marked);
+                    for (addr, _, bytes) in &swept.freed {
+                        let expected = model.remove(addr);
+                        prop_assert_eq!(expected, Some(*bytes), "swept bytes mismatch");
+                    }
+                    // Everything unmarked must now be gone from the model.
+                    model.retain(|addr, _| marked.contains(addr));
+                }
+            }
+            let model_live: u64 = model.values().sum();
+            prop_assert_eq!(rt.heap_live(), model_live, "live-byte accounting diverged");
+            prop_assert!(
+                rt.footprint() >= rt.heap_live(),
+                "footprint {} < live {}",
+                rt.footprint(),
+                rt.heap_live()
+            );
+            prop_assert_eq!(rt.footprint() % PAGE_SIZE, 0, "footprint is whole pages");
+        }
+
+        // Every object the model still considers live can be freed exactly
+        // once more.
+        for (&addr, &size) in &model {
+            match rt.tcfree(addr, FreeSource::SliceLifetime) {
+                FreeOutcome::Freed { bytes } => prop_assert_eq!(bytes, size),
+                FreeOutcome::Bailed(reason) => {
+                    // Span swapped out of the cache is the only legitimate
+                    // excuse for a live object.
+                    prop_assert!(
+                        matches!(
+                            reason,
+                            minigo_runtime::BailReason::SpanSwappedOut
+                                | minigo_runtime::BailReason::OwnershipChanged
+                        ),
+                        "unexpected bail {reason:?}"
+                    );
+                }
+                FreeOutcome::Poisoned => prop_assert!(false, "poison off"),
+            }
+        }
+    }
+
+    /// GC pacing: with GC enabled, heap_live never exceeds twice the
+    /// post-collection live set by more than the mark window's slack.
+    #[test]
+    fn pacing_bounds_heap_growth(sizes in proptest::collection::vec(64u64..4096, 50..300)) {
+        let mut rt = Runtime::new(RuntimeConfig {
+            migrate_prob: 0.0,
+            jitter: 0.0,
+            min_heap: 16 * 1024,
+            ..RuntimeConfig::default()
+        });
+        let mut peak_between = 0u64;
+        for size in sizes {
+            rt.alloc(size, Category::Other);
+            peak_between = peak_between.max(rt.heap_live());
+            if rt.gc_pending() {
+                // Nothing is reachable: everything dies.
+                rt.collect(&HashSet::new());
+                prop_assert_eq!(rt.heap_live(), 0);
+            }
+        }
+        // Trigger floor + one mark window of slack (window ≤ 96 allocations
+        // of ≤ 4096B, rounded by size classes).
+        let bound = 16 * 1024 + 96 * 4096 + MAX_SMALL_SIZE;
+        prop_assert!(
+            peak_between <= bound,
+            "peak {peak_between} exceeded pacing bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Diagnostics shared by the lexer, parser, resolver, and type checker.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::span::Span;
+
+/// The result type used throughout the front end.
+pub type Result<T> = std::result::Result<T, Diagnostic>;
+
+/// A compile-time error message anchored at a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    message: String,
+    span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with `message` at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The error message without location information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The span the diagnostic refers to.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the diagnostic with a `line:col` prefix computed from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: error: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "ab\ncdef";
+        let d = Diagnostic::new("bad thing", Span::new(5, 6));
+        assert_eq!(d.render(src), "2:3: error: bad thing");
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let d = Diagnostic::new("oops", Span::new(1, 2));
+        assert!(d.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,400 @@
+//! The MiniGo lexer.
+//!
+//! Converts source text into a [`Token`] stream. Like Go, MiniGo uses
+//! semicolons as statement terminators, but the lexer performs Go-style
+//! automatic semicolon insertion at newlines so that programs read naturally.
+
+use crate::diag::{Diagnostic, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into a token vector ending with a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input: unterminated strings or
+/// comments, integer overflow, or characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\n' => {
+                    self.insert_semicolon_if_needed(start);
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(start)?;
+                }
+                b'0'..=b'9' => self.number(start)?,
+                b'"' => self.string(start)?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(start),
+                _ => self.punct(start)?,
+            }
+        }
+        // A final automatic semicolon keeps `parse` simple for files that do
+        // not end in a newline.
+        self.insert_semicolon_if_needed(self.pos);
+        let end = self.src.len() as u32;
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Go-style automatic semicolon insertion: a newline terminates a
+    /// statement when the previous token could end one.
+    fn insert_semicolon_if_needed(&mut self, at: usize) {
+        let insert = match self.tokens.last().map(|t| &t.kind) {
+            Some(
+                TokenKind::Int(_)
+                | TokenKind::Str(_)
+                | TokenKind::Ident(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::Nil
+                | TokenKind::Return
+                | TokenKind::Break
+                | TokenKind::Continue
+                | TokenKind::RParen
+                | TokenKind::RBrace
+                | TokenKind::RBracket,
+            ) => true,
+            _ => false,
+        };
+        if insert {
+            self.tokens.push(Token {
+                kind: TokenKind::Semi,
+                span: Span::new(at as u32, at as u32),
+            });
+        }
+    }
+
+    fn block_comment(&mut self, start: usize) -> Result<()> {
+        self.pos += 2;
+        while self.pos + 1 < self.bytes.len() {
+            if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(Diagnostic::new(
+            "unterminated block comment",
+            Span::new(start as u32, self.src.len() as u32),
+        ))
+    }
+
+    fn number(&mut self, start: usize) -> Result<()> {
+        while matches!(self.peek(0), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32);
+        let value: i64 = text
+            .parse()
+            .map_err(|_| Diagnostic::new(format!("integer literal `{text}` overflows i64"), span))?;
+        self.tokens.push(Token {
+            kind: TokenKind::Int(value),
+            span,
+        });
+        Ok(())
+    }
+
+    fn string(&mut self, start: usize) -> Result<()> {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek(0) {
+                None | Some(b'\n') => {
+                    return Err(Diagnostic::new(
+                        "unterminated string literal",
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek(0).ok_or_else(|| {
+                        Diagnostic::new(
+                            "unterminated escape sequence",
+                            Span::new(start as u32, self.pos as u32),
+                        )
+                    })?;
+                    let ch = match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => {
+                            return Err(Diagnostic::new(
+                                format!("unknown escape `\\{}`", other as char),
+                                Span::new(self.pos as u32 - 1, self.pos as u32 + 1),
+                            ));
+                        }
+                    };
+                    value.push(ch);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences are copied verbatim.
+                    let ch = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Str(value),
+            span: Span::new(start as u32, self.pos as u32),
+        });
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(
+            self.peek(0),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    fn punct(&mut self, start: usize) -> Result<()> {
+        use TokenKind::*;
+        let two = |a: u8, b: u8, this: &Self| this.bytes[start] == a && this.peek(1) == Some(b);
+        let (kind, len) = if two(b':', b'=', self) {
+            (Define, 2)
+        } else if two(b'=', b'=', self) {
+            (Eq, 2)
+        } else if two(b'!', b'=', self) {
+            (Ne, 2)
+        } else if two(b'<', b'=', self) {
+            (Le, 2)
+        } else if two(b'>', b'=', self) {
+            (Ge, 2)
+        } else if two(b'&', b'&', self) {
+            (AndAnd, 2)
+        } else if two(b'|', b'|', self) {
+            (OrOr, 2)
+        } else if two(b'+', b'=', self) {
+            (PlusAssign, 2)
+        } else if two(b'-', b'=', self) {
+            (MinusAssign, 2)
+        } else if two(b'*', b'=', self) {
+            (StarAssign, 2)
+        } else if two(b'/', b'=', self) {
+            (SlashAssign, 2)
+        } else {
+            let kind = match self.bytes[start] {
+                b'(' => LParen,
+                b')' => RParen,
+                b'{' => LBrace,
+                b'}' => RBrace,
+                b'[' => LBracket,
+                b']' => RBracket,
+                b',' => Comma,
+                b';' => Semi,
+                b':' => Colon,
+                b'.' => Dot,
+                b'=' => Assign,
+                b'+' => Plus,
+                b'-' => Minus,
+                b'*' => Star,
+                b'/' => Slash,
+                b'%' => Percent,
+                b'&' => Amp,
+                b'!' => Not,
+                b'<' => Lt,
+                b'>' => Gt,
+                other => {
+                    return Err(Diagnostic::new(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start as u32, start as u32 + 1),
+                    ));
+                }
+            };
+            (kind, 1)
+        };
+        self.pos = start + len;
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function() {
+        use TokenKind::*;
+        let got = kinds("func f() { return }");
+        assert_eq!(
+            got,
+            vec![
+                Func,
+                Ident("f".into()),
+                LParen,
+                RParen,
+                LBrace,
+                Return,
+                // No newline before `}`, so no automatic semicolon there;
+                // the parser accepts `return }` directly.
+                RBrace,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn inserts_semicolons_at_newlines() {
+        use TokenKind::*;
+        let got = kinds("x := 1\ny := 2\n");
+        assert_eq!(
+            got,
+            vec![
+                Ident("x".into()),
+                Define,
+                Int(1),
+                Semi,
+                Ident("y".into()),
+                Define,
+                Int(2),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn no_semicolon_after_operators() {
+        use TokenKind::*;
+        let got = kinds("x := 1 +\n2\n");
+        assert_eq!(
+            got,
+            vec![Ident("x".into()), Define, Int(1), Plus, Int(2), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a == b != c <= d >= e && f || g"),
+            vec![
+                Ident("a".into()),
+                Eq,
+                Ident("b".into()),
+                Ne,
+                Ident("c".into()),
+                Le,
+                Ident("d".into()),
+                Ge,
+                Ident("e".into()),
+                AndAnd,
+                Ident("f".into()),
+                OrOr,
+                Ident("g".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_escapes() {
+        let toks = lex(r#""a\nb\"c""#).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str("a\nb\"c".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("@").is_err());
+        assert!(lex("x := #").is_err());
+    }
+
+    #[test]
+    fn skips_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x // line\n/* block\nstill */ y\n"),
+            vec![Ident("x".into()), Semi, Ident("y".into()), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_integer() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("abc 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+}

@@ -1,0 +1,338 @@
+//! Pretty-printer for MiniGo ASTs.
+//!
+//! Used to display instrumented programs (with the inserted `tcfree` calls)
+//! and by round-trip tests: `parse(print(parse(src)))` must equal
+//! `parse(src)` up to ids.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program as MiniGo source.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for s in &program.structs {
+        let _ = writeln!(out, "type {} struct {{", s.name);
+        for (name, ty) in &s.fields {
+            let _ = writeln!(out, "\t{name} {ty}");
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+    for f in &program.funcs {
+        print_func(&mut out, f);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function as MiniGo source.
+pub fn print_func(out: &mut String, f: &Func) {
+    let _ = write!(out, "func {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.name, p.ty);
+    }
+    out.push(')');
+    if !f.results.is_empty() {
+        out.push(' ');
+        if f.results.len() == 1 && f.results[0].name.is_empty() {
+            let _ = write!(out, "{}", f.results[0].ty);
+        } else {
+            out.push('(');
+            for (i, r) in f.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if r.name.is_empty() {
+                    let _ = write!(out, "{}", r.ty);
+                } else {
+                    let _ = write!(out, "{} {}", r.name, r.ty);
+                }
+            }
+            out.push(')');
+        }
+    }
+    out.push(' ');
+    print_block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push('\t');
+    }
+}
+
+fn print_block(out: &mut String, block: &Block, level: usize) {
+    out.push_str("{\n");
+    for stmt in &block.stmts {
+        indent(out, level + 1);
+        print_stmt(out, stmt, level + 1);
+        out.push('\n');
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    match &stmt.kind {
+        StmtKind::VarDecl { names, ty, init } => {
+            let _ = write!(out, "var {} {ty}", names.join(", "));
+            if !init.is_empty() {
+                out.push_str(" = ");
+                print_exprs(out, init);
+            }
+        }
+        StmtKind::ShortDecl { names, init } => {
+            let _ = write!(out, "{} := ", names.join(", "));
+            print_exprs(out, init);
+        }
+        StmtKind::Assign { lhs, op, rhs } => {
+            print_exprs(out, lhs);
+            match op {
+                Some(op) => {
+                    let _ = write!(out, " {op}= ");
+                }
+                None => out.push_str(" = "),
+            }
+            print_exprs(out, rhs);
+        }
+        StmtKind::If { cond, then, els } => {
+            out.push_str("if ");
+            print_expr(out, cond);
+            out.push(' ');
+            print_block(out, then, level);
+            if let Some(els) = els {
+                out.push_str(" else ");
+                match &els.kind {
+                    StmtKind::BlockStmt { block } => print_block(out, block, level),
+                    _ => print_stmt(out, els, level),
+                }
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            post,
+            body,
+        } => {
+            out.push_str("for ");
+            if init.is_some() || post.is_some() {
+                if let Some(init) = init {
+                    print_stmt(out, init, level);
+                }
+                out.push_str("; ");
+                if let Some(cond) = cond {
+                    print_expr(out, cond);
+                }
+                out.push_str("; ");
+                if let Some(post) = post {
+                    print_stmt(out, post, level);
+                }
+                out.push(' ');
+            } else if let Some(cond) = cond {
+                print_expr(out, cond);
+                out.push(' ');
+            }
+            print_block(out, body, level);
+        }
+        StmtKind::Return { exprs } => {
+            out.push_str("return");
+            if !exprs.is_empty() {
+                out.push(' ');
+                print_exprs(out, exprs);
+            }
+        }
+        StmtKind::Expr { expr } => print_expr(out, expr),
+        StmtKind::BlockStmt { block } => print_block(out, block, level),
+        StmtKind::Defer { call } => {
+            out.push_str("defer ");
+            print_expr(out, call);
+        }
+        StmtKind::Switch {
+            subject,
+            cases,
+            default,
+        } => {
+            out.push_str("switch ");
+            print_expr(out, subject);
+            out.push_str(" {\n");
+            for case in cases {
+                indent(out, level);
+                out.push_str("case ");
+                print_exprs(out, &case.values);
+                out.push_str(":\n");
+                for stmt in &case.body.stmts {
+                    indent(out, level + 1);
+                    print_stmt(out, stmt, level + 1);
+                    out.push('\n');
+                }
+            }
+            if let Some(default) = default {
+                indent(out, level);
+                out.push_str("default:\n");
+                for stmt in &default.stmts {
+                    indent(out, level + 1);
+                    print_stmt(out, stmt, level + 1);
+                    out.push('\n');
+                }
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        StmtKind::Break => out.push_str("break"),
+        StmtKind::Continue => out.push_str("continue"),
+        StmtKind::Free { target, .. } => {
+            out.push_str("tcfree(");
+            print_expr(out, target);
+            out.push(')');
+        }
+    }
+}
+
+fn print_exprs(out: &mut String, exprs: &[Expr]) {
+    for (i, e) in exprs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        print_expr(out, e);
+    }
+}
+
+/// Renders one expression as MiniGo source (fully parenthesized for nested
+/// binaries, so precedence never changes on re-parse).
+pub fn print_expr(out: &mut String, expr: &Expr) {
+    match &expr.kind {
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::BoolLit(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ExprKind::StrLit(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        ExprKind::Nil => out.push_str("nil"),
+        ExprKind::Ident(name) => out.push_str(name),
+        ExprKind::Unary { op, operand } => {
+            let _ = write!(out, "{op}");
+            let needs_parens = matches!(operand.kind, ExprKind::Binary { .. });
+            if needs_parens {
+                out.push('(');
+            }
+            print_expr(out, operand);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(out, lhs);
+            let _ = write!(out, " {op} ");
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        ExprKind::Field { base, name } => {
+            print_expr(out, base);
+            let _ = write!(out, ".{name}");
+        }
+        ExprKind::Index { base, index } => {
+            print_expr(out, base);
+            out.push('[');
+            print_expr(out, index);
+            out.push(']');
+        }
+        ExprKind::SliceExpr { base, lo, hi } => {
+            print_expr(out, base);
+            out.push('[');
+            if let Some(lo) = lo {
+                print_expr(out, lo);
+            }
+            out.push(':');
+            if let Some(hi) = hi {
+                print_expr(out, hi);
+            }
+            out.push(']');
+        }
+        ExprKind::Call { callee, args } => {
+            out.push_str(callee);
+            out.push('(');
+            print_exprs(out, args);
+            out.push(')');
+        }
+        ExprKind::Builtin { kind, ty_args, args } => {
+            out.push_str(kind.name());
+            out.push('(');
+            let mut first = true;
+            for t in ty_args {
+                if !first {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{t}");
+                first = false;
+            }
+            for a in args {
+                if !first {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+                first = false;
+            }
+            out.push(')');
+        }
+        ExprKind::StructLit { name, fields } => {
+            out.push_str(name);
+            out.push('{');
+            print_exprs(out, fields);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips ids and spans by comparing pretty-printed forms.
+    fn normalize(src: &str) -> String {
+        print_program(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn round_trips_representative_program() {
+        let src = "type P struct { x int\n next *P }\nfunc fib(n int) int { if n < 2 { return n }\n return fib(n-1) + fib(n-2) }\nfunc main() { s := make([]int, 4)\n for i := 0; i < len(s); i += 1 { s[i] = fib(i) }\n m := make(map[string]int)\n m[\"a\"] = s[0]\n delete(m, \"a\")\n tcfree(s) }\n";
+        let once = normalize(src);
+        let twice = normalize(&once);
+        assert_eq!(once, twice, "printer must be a fixpoint under re-parse");
+    }
+
+    #[test]
+    fn prints_nested_control_flow() {
+        let src = "func f(n int) int { x := 0\n for n > 0 { if n % 2 == 0 { x += 1 } else { x -= 1 }\n n -= 1 }\n return x }\n";
+        let once = normalize(src);
+        assert_eq!(once, normalize(&once));
+        assert!(once.contains("for "));
+        assert!(once.contains("else"));
+    }
+
+    #[test]
+    fn prints_struct_literals_and_pointers() {
+        let src = "type V struct { a int }\nfunc f() int { v := &V{3}\n return v.a }\n";
+        let once = normalize(src);
+        assert_eq!(once, normalize(&once));
+        assert!(once.contains("&V{3}"));
+    }
+
+    #[test]
+    fn prints_defer_and_multi_returns() {
+        let src = "func g() (a int, b int) { defer print(1)\n return 1, 2 }\n";
+        let once = normalize(src);
+        assert_eq!(once, normalize(&once));
+        assert!(once.contains("defer print(1)"));
+        assert!(once.contains("(a int, b int)"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Token definitions for the MiniGo lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// The half-open byte range the token occupies in the source.
+    pub span: Span,
+}
+
+/// The kind of a lexical token.
+///
+/// Literal payloads are stored inline; keywords are distinguished from
+/// identifiers during lexing. Keyword and punctuation variants are named
+/// after their spelling (see [`TokenKind::describe`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // keyword/punctuation variants are their spelling
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// A string literal with escapes already resolved, e.g. `"ab\n"`.
+    Str(String),
+    /// An identifier, e.g. `foo`.
+    Ident(String),
+
+    // Keywords.
+    Func,
+    Var,
+    Type,
+    Struct,
+    Map,
+    If,
+    Else,
+    For,
+    Return,
+    Break,
+    Continue,
+    Defer,
+    Switch,
+    Case,
+    Default,
+    True,
+    False,
+    Nil,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Assign,       // =
+    Define,       // :=
+    Plus,         // +
+    Minus,        // -
+    Star,         // *
+    Slash,        // /
+    Percent,      // %
+    Amp,          // &
+    Not,          // !
+    Eq,           // ==
+    Ne,           // !=
+    Lt,           // <
+    Le,           // <=
+    Gt,           // >
+    Ge,           // >=
+    AndAnd,       // &&
+    OrOr,         // ||
+    PlusAssign,   // +=
+    MinusAssign,  // -=
+    StarAssign,   // *=
+    SlashAssign,  // /=
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if `ident` is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "func" => TokenKind::Func,
+            "var" => TokenKind::Var,
+            "type" => TokenKind::Type,
+            "struct" => TokenKind::Struct,
+            "map" => TokenKind::Map,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "defer" => TokenKind::Defer,
+            "switch" => TokenKind::Switch,
+            "case" => TokenKind::Case,
+            "default" => TokenKind::Default,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "nil" => TokenKind::Nil,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.literal()),
+        }
+    }
+
+    /// The literal spelling of a fixed token, or a placeholder for
+    /// payload-carrying tokens.
+    fn literal(&self) -> &'static str {
+        match self {
+            TokenKind::Func => "func",
+            TokenKind::Var => "var",
+            TokenKind::Type => "type",
+            TokenKind::Struct => "struct",
+            TokenKind::Map => "map",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::For => "for",
+            TokenKind::Return => "return",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::Defer => "defer",
+            TokenKind::Switch => "switch",
+            TokenKind::Case => "case",
+            TokenKind::Default => "default",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Nil => "nil",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Assign => "=",
+            TokenKind::Define => ":=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Not => "!",
+            TokenKind::Eq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::Int(_) | TokenKind::Str(_) | TokenKind::Ident(_) => "<lit>",
+            TokenKind::Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(name) => write!(f, "{name}"),
+            other => write!(f, "{}", other.literal()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_hits() {
+        assert_eq!(TokenKind::keyword("func"), Some(TokenKind::Func));
+        assert_eq!(TokenKind::keyword("map"), Some(TokenKind::Map));
+        assert_eq!(TokenKind::keyword("nil"), Some(TokenKind::Nil));
+    }
+
+    #[test]
+    fn keyword_lookup_misses_identifiers() {
+        assert_eq!(TokenKind::keyword("funcs"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+        assert_eq!(TokenKind::keyword("Func"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        for kind in [
+            TokenKind::Int(3),
+            TokenKind::Str("x".into()),
+            TokenKind::Ident("y".into()),
+            TokenKind::Define,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_round_trips_fixed_tokens() {
+        assert_eq!(TokenKind::Define.to_string(), ":=");
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(TokenKind::Int(7).to_string(), "7");
+    }
+}

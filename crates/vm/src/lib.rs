@@ -1,0 +1,33 @@
+//! # minigo-vm
+//!
+//! The MiniGo interpreter: executes (optionally GoFree-instrumented)
+//! programs against the simulated runtime of `minigo-runtime`. Allocation
+//! sites follow the escape analysis' stack/heap decisions, `tcfree`
+//! statements call the runtime's explicit-deallocation primitives, and GC
+//! runs at statement-boundary safepoints, marking from the VM's frames.
+//!
+//! ```
+//! use minigo_escape::{analyze, instrument, AnalyzeOptions};
+//! use minigo_syntax::frontend;
+//! use minigo_vm::{run, VmConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "func main() { s := make([]int, 3)\n s[0] = 41\n print(s[0] + 1) }\n";
+//! let (program, mut res, types) = frontend(src)?;
+//! let analysis = analyze(&program, &res, &types, &AnalyzeOptions::default());
+//! let instrumented = instrument(&program, &mut res, &analysis);
+//! let outcome = run(&instrumented, &res, &types, &analysis, VmConfig::default())?;
+//! assert_eq!(outcome.output, "42\n");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod interp;
+pub mod value;
+
+pub use error::ExecError;
+pub use interp::{run, RunOutcome, SiteProfile, VmConfig};
+pub use value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};

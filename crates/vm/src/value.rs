@@ -1,0 +1,293 @@
+//! Runtime values.
+//!
+//! MiniGo values follow Go's semantics: structs are values (copied on
+//! assignment), slices are headers sharing a backing array, maps are
+//! references to runtime-managed storage, and pointers address either a
+//! heap cell or a stack slot (uniformly represented as shared cells; the
+//! escape analysis decides which get heap *accounting*).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a heap-accounted object in the VM's object table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+/// A shared, mutable storage cell (a variable's box or an object's
+/// payload slot).
+pub type Cell = Rc<RefCell<Value>>;
+
+/// A MiniGo runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (immutable).
+    Str(Rc<str>),
+    /// Typed nil (pointer, slice, or map).
+    Nil,
+    /// A struct value: fields in declaration order.
+    Struct(Vec<Value>),
+    /// A pointer to a cell.
+    Ptr(PtrVal),
+    /// A slice header.
+    Slice(SliceVal),
+    /// A map reference.
+    Map(MapVal),
+    /// Poisoned memory written by the §6.8 mock `tcfree`; reading it is a
+    /// runtime error, which is how unsound frees are detected.
+    Poison,
+}
+
+/// A pointer value: the cell it addresses plus the heap-accounting id of
+/// the box, when the pointee is heap-allocated.
+#[derive(Debug, Clone)]
+pub struct PtrVal {
+    /// The addressed storage.
+    pub cell: Cell,
+    /// Heap object backing the cell, if any.
+    pub obj: Option<ObjId>,
+}
+
+/// A slice header: shared backing array, offset, length, and element size
+/// (bytes) for allocator accounting. Reslicing (`s[a:b]`) produces a new
+/// header over the same cells, exactly like Go.
+#[derive(Debug, Clone)]
+pub struct SliceVal {
+    /// The backing array.
+    pub cells: Rc<RefCell<Vec<Value>>>,
+    /// Heap object backing the array, if heap-allocated.
+    pub obj: Option<ObjId>,
+    /// Start offset into the backing array.
+    pub offset: usize,
+    /// Visible length.
+    pub len: usize,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+impl SliceVal {
+    /// Capacity: from the offset to the end of the backing array.
+    pub fn cap(&self) -> usize {
+        self.cells.borrow().len().saturating_sub(self.offset)
+    }
+}
+
+/// A map reference.
+#[derive(Debug, Clone)]
+pub struct MapVal {
+    /// The shared map storage.
+    pub data: Rc<RefCell<MapData>>,
+    /// Heap object for the hmap + initial bucket, if heap-allocated.
+    pub obj: Option<ObjId>,
+}
+
+/// Map keys: Go restricts ours to scalars.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Integer key.
+    Int(i64),
+    /// Boolean key.
+    Bool(bool),
+    /// String key.
+    Str(Rc<str>),
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Int(v) => write!(f, "{v}"),
+            Key::Bool(b) => write!(f, "{b}"),
+            Key::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The runtime-managed body of a map.
+#[derive(Debug)]
+pub struct MapData {
+    /// Entries (insertion-ordered for deterministic runs).
+    pub entries: Vec<(Key, Value)>,
+    /// Fast lookup index.
+    pub index: HashMap<Key, usize>,
+    /// Current bucket array, if it has been grown off the hmap.
+    pub buckets_obj: Option<ObjId>,
+    /// Bucket capacity (entries before the next growth).
+    pub bucket_cap: usize,
+    /// Zero value returned on missing keys.
+    pub default: Value,
+    /// Bytes per entry charged to bucket arrays.
+    pub entry_size: u64,
+    /// The `make(map...)` expression that created this map (profile
+    /// attribution for growth allocations).
+    pub origin: Option<crate::interp::SiteId>,
+    /// Set when the §6.8 mock poisoned this map's storage.
+    pub poisoned: bool,
+}
+
+impl MapData {
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &Key) -> Option<&Value> {
+        self.index.get(key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Inserts or updates a key. Returns true when the entry is new.
+    pub fn insert(&mut self, key: Key, value: Value) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.entries[i].1 = value;
+                false
+            }
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, value));
+                true
+            }
+        }
+    }
+
+    /// Removes a key if present.
+    pub fn remove(&mut self, key: &Key) -> bool {
+        let Some(i) = self.index.remove(key) else {
+            return false;
+        };
+        self.entries.remove(i);
+        // Reindex the tail.
+        for (j, (k, _)) in self.entries.iter().enumerate().skip(i) {
+            self.index.insert(k.clone(), j);
+        }
+        true
+    }
+}
+
+impl Value {
+    /// Renders the value for `print`.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.to_string(),
+            Value::Nil => "nil".to_string(),
+            Value::Struct(fields) => {
+                let inner: Vec<String> = fields.iter().map(Value::display).collect();
+                format!("{{{}}}", inner.join(" "))
+            }
+            Value::Ptr(_) => "<ptr>".to_string(),
+            Value::Slice(s) => {
+                let cells = s.cells.borrow();
+                let inner: Vec<String> = cells[s.offset..s.offset + s.len]
+                    .iter()
+                    .map(Value::display)
+                    .collect();
+                format!("[{}]", inner.join(" "))
+            }
+            Value::Map(m) => {
+                let data = m.data.borrow();
+                let inner: Vec<String> = data
+                    .entries
+                    .iter()
+                    .map(|(k, v)| format!("{k}:{}", v.display()))
+                    .collect();
+                format!("map[{}]", inner.join(" "))
+            }
+            Value::Poison => "<poison>".to_string(),
+        }
+    }
+
+    /// Converts to a map key.
+    pub fn as_key(&self) -> Option<Key> {
+        match self {
+            Value::Int(v) => Some(Key::Int(*v)),
+            Value::Bool(b) => Some(Key::Bool(*b)),
+            Value::Str(s) => Some(Key::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_data_insert_get_remove() {
+        let mut m = MapData {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            buckets_obj: None,
+            bucket_cap: 8,
+            default: Value::Int(0),
+            entry_size: 32,
+            origin: None,
+            poisoned: false,
+        };
+        assert!(m.insert(Key::Int(1), Value::Int(10)));
+        assert!(!m.insert(Key::Int(1), Value::Int(11)), "update not insert");
+        assert!(m.insert(Key::Str("a".into()), Value::Int(2)));
+        assert_eq!(m.len(), 2);
+        assert!(matches!(m.get(&Key::Int(1)), Some(Value::Int(11))));
+        assert!(m.remove(&Key::Int(1)));
+        assert!(!m.remove(&Key::Int(1)));
+        assert!(matches!(m.get(&Key::Str("a".into())), Some(Value::Int(2))));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_reindexes_after_remove() {
+        let mut m = MapData {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            buckets_obj: None,
+            bucket_cap: 8,
+            default: Value::Int(0),
+            entry_size: 32,
+            origin: None,
+            poisoned: false,
+        };
+        for i in 0..5 {
+            m.insert(Key::Int(i), Value::Int(i * 10));
+        }
+        m.remove(&Key::Int(2));
+        assert!(matches!(m.get(&Key::Int(4)), Some(Value::Int(40))));
+        assert!(matches!(m.get(&Key::Int(3)), Some(Value::Int(30))));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(3).display(), "3");
+        assert_eq!(Value::Nil.display(), "nil");
+        let s = Value::Slice(SliceVal {
+            cells: Rc::new(RefCell::new(vec![Value::Int(1), Value::Int(2), Value::Int(0)])),
+            obj: None,
+            offset: 0,
+            len: 2,
+            elem_size: 8,
+        });
+        assert_eq!(s.display(), "[1 2]");
+        assert_eq!(
+            Value::Struct(vec![Value::Int(1), Value::Bool(true)]).display(),
+            "{1 true}"
+        );
+    }
+
+    #[test]
+    fn keys_from_values() {
+        assert_eq!(Value::Int(3).as_key(), Some(Key::Int(3)));
+        assert_eq!(Value::Nil.as_key(), None);
+        assert!(Value::Str("x".into()).as_key().is_some());
+    }
+}

@@ -1,0 +1,340 @@
+//! A golden-output specification suite for MiniGo semantics: every entry
+//! is a small program with its exact expected output, executed under both
+//! the plain-Go and the GoFree pipelines (which must agree). This is the
+//! regression net for interpreter semantics.
+
+use minigo_escape::{analyze, instrument, AnalyzeOptions};
+use minigo_runtime::RuntimeConfig;
+use minigo_syntax::frontend;
+use minigo_vm::{run, VmConfig};
+
+fn exec(src: &str, gofree: bool) -> String {
+    let (program, mut res, types) = frontend(src)
+        .unwrap_or_else(|e| panic!("frontend: {}\n{src}", e.render(src)));
+    let opts = if gofree {
+        AnalyzeOptions::default()
+    } else {
+        AnalyzeOptions::go()
+    };
+    let analysis = analyze(&program, &res, &types, &opts);
+    let program = if gofree {
+        instrument(&program, &mut res, &analysis)
+    } else {
+        program
+    };
+    let cfg = VmConfig {
+        runtime: RuntimeConfig {
+            migrate_prob: 0.0,
+            jitter: 0.0,
+            ..RuntimeConfig::default()
+        },
+        grow_map_free_old: gofree,
+        ..VmConfig::default()
+    };
+    run(&program, &res, &types, &analysis, cfg)
+        .unwrap_or_else(|e| panic!("run: {e}\n{src}"))
+        .output
+}
+
+fn check(cases: &[(&str, &str)]) {
+    for (src, expected) in cases {
+        let go = exec(src, false);
+        assert_eq!(&go, expected, "Go semantics mismatch for:\n{src}");
+        let gofree = exec(src, true);
+        assert_eq!(go, gofree, "GoFree diverged for:\n{src}");
+    }
+}
+
+#[test]
+fn arithmetic_and_operators() {
+    check(&[
+        ("func main() { print(7 / 2, 7 % 2, -7 / 2, -7 % 2) }\n", "3 1 -3 -1\n"),
+        ("func main() { print(2 * 3 + 4, 2 * (3 + 4)) }\n", "10 14\n"),
+        ("func main() { print(1 < 2, 2 <= 2, 3 > 4, 4 >= 5, 1 == 1, 1 != 1) }\n", "true true false false true false\n"),
+        ("func main() { print(true && false, true || false, !true) }\n", "false true false\n"),
+        (
+            "func side(x int) bool { print(x)\n return x > 0 }\nfunc main() { b := false && side(1)\n c := true || side(2)\n print(b, c) }\n",
+            "false true\n",
+        ),
+        ("func main() { print(\"a\" + \"b\", \"a\" < \"b\", len(\"héllo\")) }\n", "ab true 6\n"),
+    ]);
+}
+
+#[test]
+fn variables_and_scoping() {
+    check(&[
+        ("func main() { var x int\n var s string\n var b bool\n print(x, s == \"\", b) }\n", "0 true false\n"),
+        ("func main() { x := 1\n { x := 2\n print(x) }\n print(x) }\n", "2\n1\n"),
+        ("func main() { x, y := 1, 2\n x, y = y, x\n print(x, y) }\n", "2 1\n"),
+        ("func main() { var a, b int = 3, 4\n print(a + b) }\n", "7\n"),
+    ]);
+}
+
+#[test]
+fn control_flow() {
+    check(&[
+        (
+            "func main() { for i := 0; i < 3; i += 1 { if i % 2 == 0 { print(i) } else { print(-i) } } }\n",
+            "0\n-1\n2\n",
+        ),
+        (
+            "func main() { n := 0\n for { n += 1\n if n == 4 { break } }\n print(n) }\n",
+            "4\n",
+        ),
+        (
+            "func main() { s := 0\n for i := 0; i < 6; i += 1 { if i == 2 { continue }\n s += i }\n print(s) }\n",
+            "13\n",
+        ),
+        (
+            "func main() { switch 2 + 1 {\ncase 1:\n print(\"one\")\ncase 3:\n print(\"three\")\n} }\n",
+            "three\n",
+        ),
+    ]);
+}
+
+#[test]
+fn functions_and_returns() {
+    check(&[
+        (
+            "func f(a int, b int) (int, int) { return b, a }\nfunc main() { x, y := f(1, 2)\n print(x, y) }\n",
+            "2 1\n",
+        ),
+        (
+            "func f() (a int, b int) { a = 10\n return }\nfunc main() { x, y := f()\n print(x, y) }\n",
+            "10 0\n",
+        ),
+        (
+            "func fact(n int) int { if n < 2 { return 1 }\n return n * fact(n-1) }\nfunc main() { print(fact(6)) }\n",
+            "720\n",
+        ),
+        (
+            "func even(n int) bool { if n == 0 { return true }\n return odd(n - 1) }\nfunc odd(n int) bool { if n == 0 { return false }\n return even(n - 1) }\nfunc main() { print(even(10), odd(7)) }\n",
+            "true true\n",
+        ),
+    ]);
+}
+
+#[test]
+fn slices() {
+    check(&[
+        (
+            "func main() { s := make([]int, 3)\n print(len(s), cap(s), s[0]) }\n",
+            "3 3 0\n",
+        ),
+        (
+            "func main() { s := make([]int, 2, 10)\n print(len(s), cap(s)) }\n",
+            "2 10\n",
+        ),
+        (
+            "func main() { s := make([]int, 4)\n t := s[1:3]\n t[0] = 9\n print(s[1], len(t), cap(t)) }\n",
+            "9 2 3\n",
+        ),
+        (
+            "func main() { var s []int\n print(len(s), cap(s))\n s = append(s, 7)\n print(s[0], len(s)) }\n",
+            "0 0\n7 1\n",
+        ),
+        (
+            "func main() { s := make([]int, 0, 2)\n s = append(s, 1)\n t := append(s, 2)\n u := append(s, 3)\n print(t[1], u[1]) }\n",
+            "3 3\n", // t and u share the backing array within cap, Go semantics
+        ),
+        (
+            "func main() { s := make([]int, 5)\n for i := 0; i < len(s); i += 1 { s[i] = i * i }\n sum := 0\n w := s[1:4]\n for i := 0; i < len(w); i += 1 { sum += w[i] }\n print(sum) }\n",
+            "14\n",
+        ),
+    ]);
+}
+
+#[test]
+fn maps() {
+    check(&[
+        (
+            "func main() { m := make(map[string]int)\n m[\"k\"] = 3\n print(m[\"k\"], m[\"absent\"], len(m)) }\n",
+            "3 0 1\n",
+        ),
+        (
+            "func main() { m := make(map[bool]string)\n m[true] = \"yes\"\n print(m[true], m[false] == \"\") }\n",
+            "yes true\n",
+        ),
+        (
+            "func main() { m := make(map[int]int)\n for i := 0; i < 30; i += 1 { m[i%7] += 1 }\n print(len(m), m[3]) }\n",
+            "7 4\n",
+        ),
+        (
+            "func main() { m := make(map[int][]int)\n m[1] = make([]int, 2)\n s := m[1]\n s[0] = 5\n print(m[1][0]) }\n",
+            "5\n",
+        ),
+        (
+            "func main() { m := make(map[int]int)\n m[1] = 1\n m[2] = 2\n delete(m, 1)\n print(len(m), m[1], m[2]) }\n",
+            "1 0 2\n",
+        ),
+    ]);
+}
+
+#[test]
+fn pointers_and_structs() {
+    check(&[
+        (
+            "func main() { x := 5\n p := &x\n *p += 1\n print(x, *p) }\n",
+            "6 6\n",
+        ),
+        (
+            "func main() { x := 1\n p := &x\n q := p\n print(p == q, p == &x) }\n",
+            "true true\n",
+        ),
+        (
+            "type P struct { x int\n y int }\nfunc main() { a := P{1, 2}\n b := P{1, 2}\n print(a == b, a.x + b.y) }\n",
+            "true 3\n",
+        ),
+        (
+            "type N struct { v int\n next *N }\nfunc main() { c := &N{3, nil}\n b := &N{2, c}\n a := &N{1, b}\n print(a.v + a.next.v + a.next.next.v) }\n",
+            "6\n",
+        ),
+        (
+            "type B struct { s []int }\nfunc main() { b := B{make([]int, 2)}\n c := b\n c.s[0] = 7\n print(b.s[0]) }\n",
+            "7\n", // struct copy shares the slice backing array, as in Go
+        ),
+        (
+            "func main() { var p *int\n print(p == nil) }\n",
+            "true\n",
+        ),
+    ]);
+}
+
+#[test]
+fn defers() {
+    check(&[
+        (
+            "func main() { x := 1\n defer print(x)\n x = 2\n print(x) }\n",
+            "2\n1\n", // defer captures argument values at defer time
+        ),
+        (
+            "func f() { defer print(\"inner\") }\nfunc main() { defer print(\"outer\")\n f()\n print(\"body\") }\n",
+            "inner\nbody\nouter\n",
+        ),
+        (
+            "func main() { for i := 0; i < 3; i += 1 { defer print(i) } }\n",
+            "2\n1\n0\n",
+        ),
+    ]);
+}
+
+#[test]
+fn builtins_and_strings() {
+    check(&[
+        ("func main() { print(itoa(-42) + \"!\") }\n", "-42!\n"),
+        (
+            "func main() { s := make([]int, 2)\n s[0] = 1\n s[1] = 2\n print(s) }\n",
+            "[1 2]\n",
+        ),
+        (
+            "func main() { m := make(map[int]int)\n m[1] = 10\n print(m) }\n",
+            "map[1:10]\n",
+        ),
+        (
+            "type P struct { a int\n b bool }\nfunc main() { print(P{4, true}) }\n",
+            "{4 true}\n",
+        ),
+    ]);
+}
+
+#[test]
+fn composite_nesting() {
+    check(&[
+        // Map of maps: inner maps are reference values.
+        (
+            "func main() { m := make(map[int]map[int]int)\n inner := make(map[int]int)\n inner[1] = 10\n m[0] = inner\n m[0][2] = 20\n print(m[0][1], m[0][2], inner[2]) }\n",
+            "10 20 20\n",
+        ),
+        // Slice of structs: elements are values inside the array.
+        (
+            "type P struct { x int }\nfunc main() { s := make([]P, 2)\n s[0] = P{5}\n p := s[0]\n p.x = 9\n print(s[0].x, p.x) }\n",
+            "5 9\n",
+        ),
+        // Struct containing a map: the map field is shared on copy.
+        (
+            "type H struct { m map[int]int }\nfunc main() { h := H{make(map[int]int)}\n g := h\n g.m[1] = 7\n print(h.m[1]) }\n",
+            "7\n",
+        ),
+        // Pointers to pointers.
+        (
+            "func main() { x := 1\n p := &x\n pp := &p\n **pp = 5\n print(x) }\n",
+            "5\n",
+        ),
+        // Slice alias chains through struct fields and calls.
+        (
+            "type W struct { buf []int }\nfunc fill(w W) { w.buf[0] = 42 }\nfunc main() { w := W{make([]int, 1)}\n fill(w)\n print(w.buf[0]) }\n",
+            "42\n",
+        ),
+    ]);
+}
+
+#[test]
+fn map_append_idiom() {
+    check(&[
+        // Appending to a map-held slice: read default nil, append, store.
+        (
+            "func main() { m := make(map[int][]int)\n for i := 0; i < 6; i += 1 { k := i % 2\n m[k] = append(m[k], i) }\n print(len(m[0]), len(m[1]), m[0][2], m[1][0]) }\n",
+            "3 3 4 1\n",
+        ),
+        // Comparing references against nil after assignment.
+        (
+            "func main() { var s []int\n print(s == nil)\n s = append(s, 1)\n print(s == nil) }\n",
+            "true\nfalse\n",
+        ),
+    ]);
+}
+
+#[test]
+fn switch_and_reslice_spec() {
+    check(&[
+        (
+            "func main() { s := make([]int, 10)\n for i := 0; i < 10; i += 1 { s[i] = i }\n mid := s[3:7]\n sub := mid[1:3]\n print(sub[0], sub[1], len(sub), cap(sub)) }\n",
+            "4 5 2 6\n",
+        ),
+        (
+            "func kind(s string) int { switch s {\ncase \"a\":\n return 1\ncase \"b\", \"c\":\n return 2\ndefault:\n return 3\n} }\nfunc main() { print(kind(\"a\") + kind(\"c\") + kind(\"z\")) }\n",
+            "6\n",
+        ),
+        (
+            // Appending to a reslice clobbers the parent within capacity,
+            // exactly Go's (sometimes surprising) behaviour.
+            "func main() { s := make([]int, 4)\n for i := 0; i < 4; i += 1 { s[i] = i + 1 }\n t := s[0:2]\n t = append(t, 99)\n print(s[2], t[2]) }\n",
+            "99 99\n",
+        ),
+    ]);
+}
+
+#[test]
+fn runtime_errors_match() {
+    // Error cases must fail identically under both pipelines.
+    let cases = [
+        "func main() { s := make([]int, 2)\n print(s[2]) }\n",
+        "func main() { var p *int\n print(*p) }\n",
+        "func main() { x := 0\n print(5 / x) }\n",
+        "func main() { panic(\"boom\") }\n",
+        "func main() { var m map[int]int\n m[0] = 1 }\n",
+    ];
+    for src in cases {
+        let run_one = |gofree: bool| -> Result<String, String> {
+            let (program, mut res, types) = frontend(src).map_err(|e| e.render(src))?;
+            let opts = if gofree {
+                AnalyzeOptions::default()
+            } else {
+                AnalyzeOptions::go()
+            };
+            let analysis = analyze(&program, &res, &types, &opts);
+            let program = if gofree {
+                instrument(&program, &mut res, &analysis)
+            } else {
+                program
+            };
+            run(&program, &res, &types, &analysis, VmConfig::default())
+                .map(|r| r.output)
+                .map_err(|e| e.to_string())
+        };
+        let go = run_one(false);
+        let gofree = run_one(true);
+        assert!(go.is_err(), "expected failure: {src}");
+        assert_eq!(go, gofree, "error divergence for: {src}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # gofree-workloads
+//!
+//! MiniGo workload generators for the GoFree reproduction's evaluation:
+//!
+//! * [`programs`] — analogues of the paper's six subject programs
+//!   (table 6), tuned to each one's allocation shape.
+//! * [`micro`] — the fig. 10 map microbenchmark with the object-size
+//!   parameter `c`.
+//! * [`corpus`] — a deterministic program generator for the §6.7
+//!   compilation-speed experiment and the complexity benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod fuzzgen;
+pub mod micro;
+pub mod programs;
+
+pub use programs::{all, by_name, Scale, Workload};

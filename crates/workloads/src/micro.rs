@@ -1,0 +1,109 @@
+//! The fig. 10 microbenchmark: a map workload where the parameter `c`
+//! scales the average size of explicitly deallocated objects while the
+//! total allocation volume stays roughly constant.
+//!
+//! Each round builds (and abandons) a map of `64·c` entries; the number of
+//! rounds is divided by `c`, so a bigger `c` means fewer, bigger bucket
+//! arrays get freed — shifting the benefit from GC-frequency reduction
+//! toward heap-size reduction, exactly the trade fig. 10 plots.
+
+/// The values of `c` swept by the paper's figure.
+pub const C_VALUES: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Generates the microbenchmark program for one `c`.
+///
+/// `budget` controls total work (rounds × entries stays ≈ constant across
+/// `c`). Each round also retains a fixed-size digest in a rolling window,
+/// so the garbage collector has steady work in both settings and the
+/// GC-frequency trend of fig. 10 is visible.
+pub fn source(c: u64, budget: u64) -> String {
+    let entries = 64 * c;
+    let rounds = (budget / c).max(1);
+    let digest = 48 * c; // retained churn per round scales with c so the
+                         // total retained churn stays constant across the sweep
+    format!(
+        r#"
+func round(n int) (int, []int) {{
+    m := make(map[int]int)
+    for i := 0; i < n; i += 1 {{
+        m[i] = i * 3
+    }}
+    digest := make([]int, {digest})
+    for i := 0; i < len(digest); i += 8 {{
+        digest[i] = m[i%n]
+    }}
+    x := len(m)
+    return x, digest
+}}
+
+func main() {{
+    window := make([][]int, 48)
+    total := 0
+    for r := 0; r < {rounds}; r += 1 {{
+        x, digest := round({entries})
+        window[r%48] = digest
+        total += x + len(window)
+    }}
+    print(total)
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofree::{compile_and_run, RunConfig, Setting};
+
+    #[test]
+    fn microbenchmark_runs_for_every_c() {
+        for &c in C_VALUES {
+            let src = source(c, 64);
+            let cfg = RunConfig::deterministic(c);
+            let go = compile_and_run(&src, Setting::Go, &cfg).unwrap();
+            let gofree = compile_and_run(&src, Setting::GoFree, &cfg).unwrap();
+            assert_eq!(go.output, gofree.output, "c={c}");
+            assert!(gofree.metrics.freed_bytes > 0, "c={c} freed nothing");
+        }
+    }
+
+    #[test]
+    fn bigger_c_means_bigger_freed_objects() {
+        let mean_freed = |c: u64| {
+            let src = source(c, 128);
+            let cfg = RunConfig::deterministic(1);
+            let r = compile_and_run(&src, Setting::GoFree, &cfg).unwrap();
+            let objs: u64 = r.metrics.freed_objects_by_source.iter().sum();
+            if objs == 0 {
+                0.0
+            } else {
+                r.metrics.freed_bytes as f64 / objs as f64
+            }
+        };
+        let small = mean_freed(1);
+        let big = mean_freed(16);
+        assert!(
+            big > small * 2.0,
+            "mean freed object size must grow with c: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn free_ratio_roughly_constant_across_c() {
+        let ratio = |c: u64| {
+            let src = source(c, 128);
+            let cfg = RunConfig::deterministic(2);
+            compile_and_run(&src, Setting::GoFree, &cfg)
+                .unwrap()
+                .metrics
+                .free_ratio()
+        };
+        let r1 = ratio(1);
+        let r16 = ratio(16);
+        assert!(r1 > 0.3 && r16 > 0.3, "both substantial: {r1} {r16}");
+        assert!(
+            (r1 - r16).abs() < 0.4,
+            "comparable free ratios (fig. 10's blue bars): {r1} vs {r16}"
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! The six subject-program analogues (table 6 of the paper).
+//!
+//! The real subjects are large Go applications; what matters for the
+//! evaluation is each one's *allocation shape* — the mix of short-lived
+//! slice/map temporaries (GoFree's targets), long-lived churn (GC's job),
+//! and map growth that tables 7–9 report. Each analogue follows the same
+//! skeleton: a hot loop produces retained allocations into a fixed-size
+//! ring (steady-state live set + garbage churn for the GC) alongside
+//! scope-local temporaries (explicitly freeable by GoFree), tuned per
+//! workload to land near the paper's free-ratio and contribution rows:
+//!
+//! | analogue | models | target free ratio | reclamation split |
+//! |---|---|---|---|
+//! | `gocompile` | the Go compiler | ~12% | slices dominate |
+//! | `hugo` | hugo site generator | ~6% | slices + some maps |
+//! | `badger` | badger KV store | ~4% | growth only |
+//! | `json` | Go/json | ~23% | growth only |
+//! | `scheck` | staticcheck | ~15% | maps ≈ growth |
+//! | `slayout` | structlayout | ~25% | growth dominates |
+
+/// A named workload with generated MiniGo source.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (matches the paper's table rows).
+    pub name: &'static str,
+    /// The MiniGo program.
+    pub source: String,
+}
+
+/// Workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: fast enough for unit tests.
+    Test,
+    /// The evaluation size used by the bench harness.
+    Full,
+}
+
+impl Scale {
+    fn n(self, test: u64, full: u64) -> u64 {
+        match self {
+            Scale::Test => test,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// All six workloads at the given scale.
+///
+/// ```
+/// use gofree_workloads::{all, Scale};
+///
+/// let names: Vec<&str> = all(Scale::Test).iter().map(|w| w.name).collect();
+/// assert_eq!(names, ["gocompile", "hugo", "badger", "json", "scheck", "slayout"]);
+/// ```
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        gocompile(scale),
+        hugo(scale),
+        badger(scale),
+        json(scale),
+        scheck(scale),
+        slayout(scale),
+    ]
+}
+
+/// The paper also briefly tested programs with free ratio < 5% —
+/// protobuf-go, fastjson, fzf, gods, and the Sweet suite — and assumed
+/// "GoFree will not have a significant effect" (§6.4). This analogue has
+/// almost no short-lived slice/map temporaries: nearly everything it
+/// allocates is retained.
+pub fn lowfree(scale: Scale) -> Workload {
+    let nops = scale.n(40, 900);
+    let source = format!(
+        r#"
+type Entry struct {{
+    id int
+    payload []int
+}}
+
+func build(id int) Entry {{
+    p := make([]int, 128+id%128)
+    for i := 0; i < len(p); i += 16 {{
+        p[i] = id * i % 257
+    }}
+    q := p[0]
+    if id%8 == 0 {{
+        tmp := make([]int, id%4+2)
+        tmp[0] = p[0] % 11
+        q = p[0] + tmp[0]
+    }}
+    p[0] = q
+    return Entry{{id, p}}
+}}
+
+func main() {{
+    store := make([]Entry, 0, {nops})
+    total := 0
+    for op := 0; op < {nops}; op += 1 {{
+        e := build(op)
+        store = append(store, e)
+        total += e.payload[0] + e.id
+    }}
+    print(total, len(store))
+}}
+"#
+    );
+    Workload {
+        name: "lowfree",
+        source,
+    }
+}
+
+/// The workload with the given name, if any.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    all(scale).into_iter().find(|w| w.name == name)
+}
+
+/// The Go-compiler analogue: lexing builds big retained token arrays (the
+/// live IR), parsing churns through short-lived basic-block slices (the
+/// paper notes the compiler "uses a lot of slices to hold basic blocks
+/// temporarily"), and each function keeps a small symbol map.
+pub fn gocompile(scale: Scale) -> Workload {
+    let nfuncs = scale.n(30, 900);
+    let source = format!(
+        r#"
+type Node struct {{
+    op int
+    lhs int
+    rhs int
+}}
+
+func lex(size int) []int {{
+    toks := make([]int, size*64)
+    for i := 0; i < len(toks); i += 8 {{
+        toks[i] = i * 31 % 97
+    }}
+    return toks
+}}
+
+func parse(toks []int) int {{
+    sum := 0
+    nblocks := len(toks)/96 + 1
+    for b := 0; b < nblocks; b += 1 {{
+        blk := make([]int, 8+b%5)
+        for i := 0; i < len(blk); i += 1 {{
+            blk[i] = toks[(b*96+i)%len(toks)]
+        }}
+        nd := &Node{{blk[0], b, b + 1}}
+        for i := 0; i < len(blk); i += 2 {{
+            sum += blk[i] + nd.op%2
+        }}
+    }}
+    x := sum
+    return x
+}}
+
+func compileFunc(size int) (int, []int, map[int]int) {{
+    toks := lex(size)
+    deps := make(map[int]int)
+    for i := 0; i < size+4; i += 1 {{
+        deps[i*7] = i
+    }}
+    r := parse(toks) + len(deps)
+    return r, toks, deps
+}}
+
+func main() {{
+    cache := make([][]int, 12)
+    depcache := make([]map[int]int, 12)
+    total := 0
+    for f := 0; f < {nfuncs}; f += 1 {{
+        r, ir, deps := compileFunc(8 + f%12)
+        cache[f%12] = ir
+        depcache[f%12] = deps
+        total += r + len(cache) + len(depcache)
+        if f%4 == 0 {{
+            syms := make(map[string]int)
+            for i := 0; i < 14; i += 1 {{
+                syms[itoa(i)] = f + i
+            }}
+            total += len(syms)
+        }}
+    }}
+    print(total)
+}}
+"#
+    );
+    Workload {
+        name: "gocompile",
+        source,
+    }
+}
+
+/// The hugo analogue: rendered page bodies are retained (the site), while
+/// tables of contents (slices) and word-count maps are per-page
+/// temporaries. The retained share is large, so the free ratio is small.
+pub fn hugo(scale: Scale) -> Workload {
+    let npages = scale.n(20, 620);
+    let source = format!(
+        r#"
+func render(words int) (int, []int) {{
+    body := make([]int, words*70)
+    for i := 0; i < len(body); i += 35 {{
+        body[i] = i * 7 % 251
+    }}
+    toc := make([]int, words*2)
+    for i := 0; i < len(toc); i += 1 {{
+        toc[i] = body[(i*20)%len(body)]
+    }}
+    counts := make(map[int]int)
+    for i := 0; i < words/3; i += 1 {{
+        counts[i%20] += 1
+    }}
+    h := toc[0] + len(counts)
+    return h, body
+}}
+
+func main() {{
+    site := make([][]int, 16)
+    total := 0
+    for p := 0; p < {npages}; p += 1 {{
+        h, body := render(24 + p%20)
+        site[p%16] = body
+        total += h + len(site)
+    }}
+    print(total)
+}}
+"#
+    );
+    Workload {
+        name: "hugo",
+        source,
+    }
+}
+
+/// The badger analogue: a long-lived store (map + value log) behind a
+/// pointer. Values are retained; only the store's bucket growth reclaims
+/// anything, and the free ratio is the lowest of the six.
+pub fn badger(scale: Scale) -> Workload {
+    let nops = scale.n(80, 4000);
+    let source = format!(
+        r#"
+type DB struct {{
+    data map[int]int
+    idx map[int]int
+    vlog [][]int
+}}
+
+func open() *DB {{
+    d := &DB{{make(map[int]int), make(map[int]int), make([][]int, 24)}}
+    return d
+}}
+
+func value(op int) []int {{
+    v := make([]int, 32+op%32)
+    for i := 0; i < len(v); i += 8 {{
+        v[i] = op * i % 1009
+    }}
+    return v
+}}
+
+func put(db *DB, k int, op int) {{
+    if k%2 == 0 {{
+        db.data[k] = op
+    }} else {{
+        db.idx[k] = op
+    }}
+    db.vlog[op%24] = value(op)
+}}
+
+func get(db *DB, k int) int {{
+    if k%2 == 0 {{
+        return db.data[k]
+    }}
+    return db.idx[k]
+}}
+
+func main() {{
+    db := open()
+    checksum := 0
+    for op := 0; op < {nops}; op += 1 {{
+        put(db, op, op)
+        checksum += get(db, op*7%(op+1))
+    }}
+    print(checksum, len(db.data)+len(db.idx))
+}}
+"#
+    );
+    Workload {
+        name: "badger",
+        source,
+    }
+}
+
+/// The Go/json analogue: every parsed document becomes an object map that
+/// is retained in a rolling result window; reclamation is pure bucket
+/// growth, and there is a great deal of it (the paper's highest-benefit
+/// subject).
+pub fn json(scale: Scale) -> Workload {
+    let ndocs = scale.n(24, 800);
+    let source = format!(
+        r#"
+func parseDoc(id int, fields int) (map[int]int, []int) {{
+    obj := make(map[int]int)
+    for f := 0; f < fields; f += 1 {{
+        obj[f] = id*31 + f
+    }}
+    raw := make([]int, fields*6)
+    for i := 0; i < len(raw); i += 6 {{
+        raw[i] = id + i
+    }}
+    return obj, raw
+}}
+
+func main() {{
+    window := make([]map[int]int, 20)
+    texts := make([][]int, 20)
+    total := 0
+    for d := 0; d < {ndocs}; d += 1 {{
+        obj, raw := parseDoc(d, 72 + d%56)
+        window[d%20] = obj
+        texts[d%20] = raw
+        total += obj[3]
+    }}
+    print(total, len(window), len(texts))
+}}
+"#
+    );
+    Workload {
+        name: "json",
+        source,
+    }
+}
+
+/// The staticcheck analogue: per-function fact maps die at scope end
+/// (FreeMap) after growing (GrowMapAndFreeOld), diagnostics are retained,
+/// and a sliver of slice temporaries rounds out table 9's 2/50/48 split.
+pub fn scheck(scale: Scale) -> Workload {
+    let nfuncs = scale.n(20, 560);
+    let source = format!(
+        r#"
+func checkFunc(id int, size int) (int, []int) {{
+    facts := make(map[int]int)
+    for i := 0; i < size*2/3; i += 1 {{
+        facts[i] = id + i*3
+    }}
+    viol := 0
+    for i := 0; i < size*2/3; i += 2 {{
+        if facts[i]%7 == 0 {{
+            viol += 1
+        }}
+    }}
+    diags := make([]int, size*12)
+    for i := 0; i < len(diags); i += 10 {{
+        diags[i] = facts[i%(size*2/3)]
+    }}
+    if id%16 == 0 {{
+        scratch := make([]int, size)
+        scratch[0] = viol
+        viol += scratch[0] % 2
+    }}
+    x := viol
+    return x, diags
+}}
+
+func main() {{
+    reports := make([][]int, 10)
+    total := 0
+    for f := 0; f < {nfuncs}; f += 1 {{
+        v, diags := checkFunc(f, 40 + f%36)
+        reports[f%10] = diags
+        total += v
+    }}
+    print(total, len(reports))
+}}
+"#
+    );
+    Workload {
+        name: "scheck",
+        source,
+    }
+}
+
+/// The structlayout analogue: many offset maps escape into a rolling
+/// report window; bucket growth is essentially the only reclaimer
+/// (table 9's 1/0/99) and the savings show up mostly as heap-size
+/// reduction.
+pub fn slayout(scale: Scale) -> Workload {
+    let nstructs = scale.n(24, 760);
+    let source = format!(
+        r#"
+func layout(id int, nfields int) map[int]int {{
+    offsets := make(map[int]int)
+    off := 0
+    for i := 0; i < nfields; i += 1 {{
+        offsets[i] = off
+        off += 8 + id%3*4
+    }}
+    return offsets
+}}
+
+func main() {{
+    report := make([]map[int]int, 14)
+    doc := make([][]int, 14)
+    total := 0
+    for s := 0; s < {nstructs}; s += 1 {{
+        o := layout(s, 30 + s%26)
+        report[s%14] = o
+        total += o[1]
+        notes := make([]int, 90+s%40)
+        notes[0] = total
+        doc[s%14] = notes
+        total += notes[0] % 2
+    }}
+    print(total, len(report)+len(doc))
+}}
+"#
+    );
+    Workload {
+        name: "slayout",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofree::{compile_and_run, RunConfig, Setting};
+
+    #[test]
+    fn all_workloads_compile_and_run_identically_across_settings() {
+        for w in all(Scale::Test) {
+            let cfg = RunConfig::deterministic(5);
+            let go = compile_and_run(&w.source, Setting::Go, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let gofree = compile_and_run(&w.source, Setting::GoFree, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let gcoff = compile_and_run(&w.source, Setting::GoGcOff, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(go.output, gofree.output, "{} output differs", w.name);
+            assert_eq!(go.output, gcoff.output, "{} output differs", w.name);
+            assert!(!go.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn gofree_reclaims_on_every_workload() {
+        for w in all(Scale::Test) {
+            let cfg = RunConfig::deterministic(6);
+            let r = compile_and_run(&w.source, Setting::GoFree, &cfg).unwrap();
+            assert!(
+                r.metrics.freed_bytes > 0,
+                "{} freed nothing: {:?}",
+                w.name,
+                r.metrics
+            );
+        }
+    }
+
+    #[test]
+    fn free_ratios_are_partial_not_total() {
+        // The point of the retained-churn structure: GoFree frees a
+        // fraction, never everything.
+        for w in all(Scale::Test) {
+            let cfg = RunConfig::deterministic(8);
+            let r = compile_and_run(&w.source, Setting::GoFree, &cfg).unwrap();
+            let fr = r.metrics.free_ratio();
+            assert!(
+                fr > 0.005 && fr < 0.7,
+                "{}: free ratio {fr} out of band",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn lowfree_has_negligible_free_ratio() {
+        let w = lowfree(Scale::Test);
+        let cfg = RunConfig::deterministic(9);
+        let go = compile_and_run(&w.source, Setting::Go, &cfg).unwrap();
+        let gf = compile_and_run(&w.source, Setting::GoFree, &cfg).unwrap();
+        assert_eq!(go.output, gf.output);
+        assert!(
+            gf.metrics.free_ratio() < 0.05,
+            "lowfree must stay under the paper's 5% threshold: {}",
+            gf.metrics.free_ratio()
+        );
+    }
+
+    #[test]
+    fn by_name_finds_workloads() {
+        assert!(by_name("json", Scale::Test).is_some());
+        assert!(by_name("nope", Scale::Test).is_none());
+        assert_eq!(all(Scale::Test).len(), 6);
+    }
+
+    #[test]
+    fn contribution_shapes_match_table9() {
+        // badger/json/slayout: growth-dominated; scheck: map-lifetime
+        // heavy; gocompile/hugo: slices contribute most.
+        let cfg = RunConfig::deterministic(7);
+        let share = |name: &str| {
+            let w = by_name(name, Scale::Test).unwrap();
+            let r = compile_and_run(&w.source, Setting::GoFree, &cfg).unwrap();
+            r.metrics.source_shares()
+        };
+        let [slice, _map, grow] = share("json");
+        assert!(grow > 0.9, "json grow share {grow}");
+        assert!(slice < 0.05, "json slice share {slice}");
+        let [slice, _map, grow] = share("badger");
+        assert!(grow > 0.9, "badger grow share {grow}");
+        assert!(slice < 0.05);
+        let [_, map, grow] = share("scheck");
+        assert!(map > 0.25, "scheck map share {map}");
+        assert!(grow > 0.2, "scheck grow share {grow}");
+        let [slice, _, _] = share("gocompile");
+        assert!(slice > 0.4, "gocompile slice share {slice}");
+        let [slice, _, _] = share("hugo");
+        assert!(slice > 0.3, "hugo slice share {slice}");
+    }
+}

@@ -1,0 +1,55 @@
+//! A domain scenario: a JSON-parsing service loop (the paper's
+//! highest-benefit subject) measured under the three settings of §6.4,
+//! printing the table 5 metrics for each.
+//!
+//! ```sh
+//! cargo run --release --example json_service
+//! ```
+
+use gofree::{compile, run_distribution, stdev, RunConfig, Setting};
+use gofree_workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = by_name("json", Scale::Full).expect("json workload exists");
+    let base = RunConfig {
+        min_heap: 128 * 1024,
+        ..RunConfig::default()
+    };
+    let runs = 15;
+    println!(
+        "JSON service analogue: {} runs per setting\n",
+        runs
+    );
+    println!(
+        "{:<9} {:>12} {:>8} {:>6} {:>12} {:>11} {:>7} {:>12}",
+        "setting", "time", "stdev", "GCs", "alloced", "freed", "ratio", "maxheap"
+    );
+    let mut means = Vec::new();
+    for setting in Setting::all() {
+        let compiled = compile(&workload.source, &setting.compile_options())?;
+        let reports = run_distribution(&compiled, setting, &base, runs)?;
+        let times: Vec<f64> = reports.iter().map(|r| r.time as f64).collect();
+        let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+        let last = reports.last().expect("ran");
+        println!(
+            "{:<9} {:>12.0} {:>8.0} {:>6} {:>12} {:>11} {:>6.0}% {:>12}",
+            setting.to_string(),
+            mean_time,
+            stdev(&times),
+            last.metrics.gcs,
+            last.metrics.alloced_bytes,
+            last.metrics.freed_bytes,
+            last.metrics.free_ratio() * 100.0,
+            last.metrics.maxheap,
+        );
+        means.push(mean_time);
+    }
+    let (go, gofree, gcoff) = (means[0], means[1], means[2]);
+    println!(
+        "\ntime ratio GoFree/Go = {:.1}%   GC-time ratio = {:.1}%",
+        100.0 * gofree / go,
+        100.0 * (gofree - gcoff) / (go - gcoff),
+    );
+    println!("(paper's json row: time 94%, GC time 55%, GCs 77%, free ratio 23%)");
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in the paper's evaluation (plus the
+# extension studies) into results/. Takes ~15 minutes at full scale;
+# pass --quick to smoke-test in under a minute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ARGS=("$@")
+cargo build --workspace --release
+mkdir -p results
+for bin in table3 table7 table8 table9 fig10 fig11 compile_speed \
+           robustness ablation inlining batching gogc_sweep summary fuzz; do
+  echo "== $bin =="
+  cargo run --release -q -p gofree-bench --bin "$bin" -- "${ARGS[@]}" \
+    | tee "results/$bin.txt"
+done
+echo "All experiments regenerated into results/."

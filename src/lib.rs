@@ -1,0 +1,19 @@
+//! Umbrella crate for the GoFree reproduction workspace.
+//!
+//! This crate re-exports the public surface of every subsystem so that the
+//! workspace-level `examples/` and `tests/` can exercise the whole pipeline
+//! through one import. The real functionality lives in the member crates:
+//!
+//! * [`minigo_syntax`] — the MiniGo front end (lexer, parser, AST).
+//! * [`minigo_escape`] — Go's escape analysis plus the GoFree extensions.
+//! * [`minigo_runtime`] — the TCMalloc-style heap, GC, and `tcfree` family.
+//! * [`minigo_vm`] — the interpreter that executes instrumented programs.
+//! * [`gofree`] — the high-level compile/run facade and experiment drivers.
+//! * [`gofree_workloads`] — the subject-program analogues from the paper.
+
+pub use gofree;
+pub use gofree_workloads;
+pub use minigo_escape;
+pub use minigo_runtime;
+pub use minigo_syntax;
+pub use minigo_vm;

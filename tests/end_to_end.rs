@@ -1,0 +1,184 @@
+//! Integration tests spanning all crates: front end → escape analysis →
+//! instrumentation → VM → runtime, checked end to end.
+
+use gofree::{
+    compile, compile_and_run, execute, CompileOptions, RunConfig, Setting,
+};
+use gofree_workloads::{all, by_name, Scale};
+
+/// The core semantic guarantee: GoFree's instrumentation never changes
+/// observable behaviour, under any setting, for every workload.
+#[test]
+fn settings_are_observationally_equivalent() {
+    for w in all(Scale::Test) {
+        let cfg = RunConfig::deterministic(42);
+        let outputs: Vec<String> = Setting::all()
+            .into_iter()
+            .map(|s| {
+                compile_and_run(&w.source, s, &cfg)
+                    .unwrap_or_else(|e| panic!("{} under {s}: {e}", w.name))
+                    .output
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "{}", w.name);
+        assert_eq!(outputs[0], outputs[2], "{}", w.name);
+    }
+}
+
+/// The instrumented program is real MiniGo: it reparses and recompiles.
+#[test]
+fn instrumented_source_round_trips() {
+    for w in all(Scale::Test) {
+        let compiled = compile(&w.source, &CompileOptions::default()).expect(w.name);
+        let text = compiled.instrumented_source();
+        let reparsed = minigo_syntax::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(&text)));
+        assert!(reparsed.funcs.len() >= 2, "{}", w.name);
+    }
+}
+
+/// Metric sanity across every workload and setting.
+#[test]
+fn metric_invariants_hold() {
+    for w in all(Scale::Test) {
+        for setting in Setting::all() {
+            let cfg = RunConfig::deterministic(7);
+            let r = compile_and_run(&w.source, setting, &cfg).expect(w.name);
+            let m = &r.metrics;
+            assert!(
+                m.freed_bytes <= m.alloced_bytes,
+                "{}: freed > alloced",
+                w.name
+            );
+            assert_eq!(
+                m.freed_bytes,
+                m.freed_bytes_by_source.iter().sum::<u64>(),
+                "{}: per-source frees must sum to the total",
+                w.name
+            );
+            assert!(m.free_ratio() >= 0.0 && m.free_ratio() <= 1.0);
+            if setting == Setting::GoGcOff {
+                assert_eq!(m.gcs, 0, "{}: GC ran while disabled", w.name);
+            }
+            if setting != Setting::GoFree {
+                assert_eq!(m.tcfree_attempts, 0, "{}: Go must not call tcfree", w.name);
+            }
+            // Every heap object ends up accounted: freed by tcfree or GC.
+            let reclaimed: u64 =
+                m.heap_tcfreed.iter().sum::<u64>() + m.heap_gced.iter().sum::<u64>();
+            assert_eq!(
+                reclaimed,
+                m.heap_allocs.iter().sum::<u64>(),
+                "{} / {setting}: allocation accounting must balance",
+                w.name
+            );
+        }
+    }
+}
+
+/// GoFree strictly reduces GC cycles on the GC-heavy workloads while
+/// keeping the output identical (the headline table 7 effect).
+#[test]
+fn gofree_reduces_gc_pressure() {
+    for name in ["json", "scheck", "slayout"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let cfg = RunConfig {
+            min_heap: 48 * 1024,
+            ..RunConfig::deterministic(3)
+        };
+        let go = compile_and_run(&w.source, Setting::Go, &cfg).unwrap();
+        let gofree = compile_and_run(&w.source, Setting::GoFree, &cfg).unwrap();
+        assert!(go.metrics.gcs > 0, "{name}: baseline must GC");
+        assert!(
+            gofree.metrics.gcs <= go.metrics.gcs,
+            "{name}: GoFree added GC cycles ({} vs {})",
+            gofree.metrics.gcs,
+            go.metrics.gcs
+        );
+        assert!(gofree.metrics.freed_bytes > 0, "{name}: nothing freed");
+    }
+}
+
+/// Determinism: identical seeds give identical virtual time and metrics;
+/// different seeds perturb time but never behaviour.
+#[test]
+fn seeded_determinism() {
+    let w = by_name("gocompile", Scale::Test).unwrap();
+    let compiled = compile(&w.source, &CompileOptions::default()).unwrap();
+    let base = RunConfig::default();
+    let a = execute(&compiled, Setting::GoFree, &base).unwrap();
+    let b = execute(&compiled, Setting::GoFree, &base).unwrap();
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.metrics.alloced_bytes, b.metrics.alloced_bytes);
+    let other = execute(
+        &compiled,
+        Setting::GoFree,
+        &RunConfig {
+            seed: 1,
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(a.output, other.output, "behaviour is seed-independent");
+    assert_ne!(a.time, other.time, "jitter differs per seed");
+}
+
+/// The generated compile-speed corpus runs identically under both
+/// compilers at several sizes (stress for the inter-procedural analysis).
+#[test]
+fn corpus_programs_run_identically() {
+    for n in [10, 35, 60] {
+        let src = gofree_workloads::corpus::generate(n);
+        let cfg = RunConfig::deterministic(n as u64);
+        let go = compile_and_run(&src, Setting::Go, &cfg)
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let gofree = compile_and_run(&src, Setting::GoFree, &cfg)
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        assert_eq!(go.output, gofree.output, "n={n}");
+    }
+}
+
+/// The fig. 10 microbenchmark keeps behaviour identical across settings
+/// for every c.
+#[test]
+fn microbenchmark_equivalence() {
+    for &c in gofree_workloads::micro::C_VALUES {
+        let src = gofree_workloads::micro::source(c, 32);
+        let cfg = RunConfig::deterministic(c);
+        let go = compile_and_run(&src, Setting::Go, &cfg).unwrap();
+        let gofree = compile_and_run(&src, Setting::GoFree, &cfg).unwrap();
+        assert_eq!(go.output, gofree.output, "c={c}");
+    }
+}
+
+/// Language-feature torture programs run identically under Go and GoFree.
+#[test]
+fn feature_programs_equivalent() {
+    let programs = [
+        // Nested closures over scopes... no closures: nested scopes + shadowing.
+        "func main() { x := 1\n { x := 2\n print(x) }\n print(x) }\n",
+        // Defer ordering with arguments evaluated at defer time.
+        "func main() { x := 1\n defer print(x)\n x = 2\n print(x) }\n",
+        // Pointer webs with indirect stores.
+        "func main() { a := 1\n b := 2\n pa := &a\n pb := &b\n ppx := &pa\n *ppx = pb\n q := *ppx\n *q = 42\n print(a, b) }\n",
+        // Struct values vs pointers.
+        "type V struct { x int\n s []int }\nfunc main() { v := V{1, make([]int, 2)}\n w := v\n w.x = 9\n w.s[0] = 7\n print(v.x, v.s[0]) }\n",
+        // Maps with string keys and deletes.
+        "func main() { m := make(map[string]int)\n for i := 0; i < 40; i += 1 { m[itoa(i%10)] = i }\n delete(m, \"3\")\n print(len(m), m[\"9\"]) }\n",
+        // Multi-value destructuring through assignments.
+        "func two() (int, []int) { return 7, make([]int, 3) }\nfunc main() { var a int\n var s []int\n a, s = two()\n s[0] = a\n print(a, s[0], len(s)) }\n",
+        // Recursion with slices.
+        "func rev(s []int, i int) int { if i >= len(s) { return 0 }\n return s[i] + rev(s, i+1) }\nfunc main() { s := make([]int, 5)\n for i := 0; i < 5; i += 1 { s[i] = i * i }\n print(rev(s, 0)) }\n",
+        // Append aliasing within capacity.
+        "func main() { s := make([]int, 2, 8)\n t := append(s, 5)\n u := append(t, 6)\n u[0] = 1\n print(s[0], t[2], u[3], len(u)) }\n",
+    ];
+    for (i, src) in programs.iter().enumerate() {
+        let cfg = RunConfig::deterministic(i as u64);
+        let go = compile_and_run(src, Setting::Go, &cfg)
+            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+        let gofree = compile_and_run(src, Setting::GoFree, &cfg)
+            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+        assert_eq!(go.output, gofree.output, "program {i}");
+        assert!(!go.output.is_empty(), "program {i} printed nothing");
+    }
+}

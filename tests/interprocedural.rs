@@ -1,0 +1,233 @@
+//! Deep inter-procedural analysis tests: content tags through multi-level
+//! call chains, exposure crossing call boundaries, map-returning factories,
+//! and mixed passthrough/fresh results — the §4.4 machinery under stress.
+
+use gofree::{compile, compile_and_run, CompileOptions, RunConfig, Setting};
+
+fn frees_in(src: &str) -> String {
+    let compiled = compile(src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{}", e.render(src)));
+    compiled.instrumented_source()
+}
+
+fn runs_equivalently(src: &str) {
+    let cfg = RunConfig::deterministic(3);
+    let go = compile_and_run(src, Setting::Go, &cfg).expect("go");
+    let gofree = compile_and_run(src, Setting::GoFree, &cfg).expect("gofree");
+    assert_eq!(go.output, gofree.output);
+}
+
+/// Content tags compose: an allocation made three calls deep is freed at
+/// the outermost caller.
+#[test]
+fn content_tags_through_three_levels() {
+    let src = r#"
+func level3(n int) []int {
+    s := make([]int, n)
+    s[0] = n
+    return s
+}
+
+func level2(n int) []int {
+    s := level3(n + 1)
+    return s
+}
+
+func level1(n int) []int {
+    s := level2(n + 1)
+    return s
+}
+
+func main() {
+    buf := level1(40)
+    x := buf[0]
+    print(x)
+}
+"#;
+    let text = frees_in(src);
+    assert!(
+        text.contains("tcfree(buf)"),
+        "the depth-3 allocation frees at the top caller:\n{text}"
+    );
+    // The intermediate functions must NOT free what they return.
+    assert!(!text.contains("func level2(n int) []int {\n\ttcfree"), "{text}");
+    runs_equivalently(src);
+}
+
+/// A callee that stores through its parameter exposes the argument: the
+/// caller must refuse to free objects reachable from it.
+#[test]
+fn callee_exposure_blocks_caller_free() {
+    let src = r#"
+func sneak(dst *[]int, v []int) {
+    *dst = v
+}
+
+func main() {
+    n := 30
+    a := make([]int, n)
+    var hold []int
+    {
+        b := make([]int, n)
+        b[0] = 5
+        sneak(&hold, b)
+        a[0] = b[0]
+    }
+    print(a[0], hold[0])
+}
+"#;
+    let text = frees_in(src);
+    assert!(
+        !text.contains("tcfree(b)"),
+        "b escaped through sneak's indirect store:\n{text}"
+    );
+    runs_equivalently(src);
+}
+
+/// Map factories: the caller frees a returned map it keeps local.
+#[test]
+fn map_factory_freed_in_caller() {
+    let src = r#"
+func index(n int) map[int]int {
+    m := make(map[int]int)
+    for i := 0; i < n; i += 1 {
+        m[i] = i * i
+    }
+    return m
+}
+
+func main() {
+    m := index(50)
+    x := m[7]
+    print(x, len(m))
+}
+"#;
+    let text = frees_in(src);
+    assert!(text.contains("tcfree(m)"), "{text}");
+    runs_equivalently(src);
+}
+
+/// Mixed results (§4.6.3): freshness is per-result, not per-function.
+#[test]
+fn per_result_freshness() {
+    let src = r#"
+func pair(existing []int) ([]int, []int, map[int]int) {
+    fresh := make([]int, 16)
+    fresh[0] = 1
+    idx := make(map[int]int)
+    idx[0] = 1
+    return fresh, existing, idx
+}
+
+func main() {
+    n := 25
+    base := make([]int, n)
+    {
+        a, b, c := pair(base)
+        x := a[0] + b[0] + c[0]
+        print(x)
+    }
+    base[0] = 2
+    print(base[0])
+}
+"#;
+    let text = frees_in(src);
+    assert!(text.contains("tcfree(a)"), "fresh slice result freed:\n{text}");
+    assert!(text.contains("tcfree(c)"), "fresh map result freed:\n{text}");
+    assert!(
+        !text.contains("tcfree(b)"),
+        "passthrough of outer-scope base must not be freed:\n{text}"
+    );
+    runs_equivalently(src);
+}
+
+/// A diamond call graph: both paths' summaries agree and the shared callee
+/// is analyzed once.
+#[test]
+fn diamond_call_graph() {
+    let src = r#"
+func bottom(n int) []int {
+    s := make([]int, n)
+    s[0] = n
+    return s
+}
+
+func left(n int) []int {
+    return bottom(n * 2)
+}
+
+func right(n int) []int {
+    return bottom(n + 1)
+}
+
+func main() {
+    l := left(8)
+    r := right(8)
+    x := l[0] + r[0]
+    print(x)
+}
+"#;
+    let text = frees_in(src);
+    assert!(text.contains("tcfree(l)") && text.contains("tcfree(r)"), "{text}");
+    runs_equivalently(src);
+}
+
+/// Recursive factories stay conservative: the default tag blocks freeing.
+#[test]
+fn recursive_factory_not_freed() {
+    let src = r#"
+func grow(n int) []int {
+    if n == 0 {
+        base := make([]int, 4)
+        return base
+    }
+    s := grow(n - 1)
+    s = append(s, n)
+    return s
+}
+
+func main() {
+    s := grow(6)
+    x := s[len(s)-1]
+    print(x)
+}
+"#;
+    let text = frees_in(src);
+    assert!(
+        !text.contains("tcfree(s)"),
+        "recursion uses the default (conservative) tag:\n{text}"
+    );
+    runs_equivalently(src);
+}
+
+/// Exposure information flows through summaries transitively: a wrapper
+/// around an exposing function is itself exposing.
+#[test]
+fn transitive_param_exposure() {
+    let src = r#"
+func store(dst *[]int, v []int) {
+    *dst = v
+}
+
+func wrap(dst *[]int, v []int) {
+    store(dst, v)
+}
+
+func main() {
+    n := 20
+    var hold []int
+    {
+        tmp := make([]int, n)
+        tmp[0] = 9
+        wrap(&hold, tmp)
+    }
+    print(hold[0])
+}
+"#;
+    let text = frees_in(src);
+    assert!(
+        !text.contains("tcfree(tmp)"),
+        "exposure must survive the wrapper's summary:\n{text}"
+    );
+    runs_equivalently(src);
+}

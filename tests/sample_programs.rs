@@ -1,0 +1,40 @@
+//! Every sample program in `examples/programs/` must compile and behave
+//! identically under Go, GoFree, and the poisoning mock.
+
+use gofree::{compile, execute, CompileOptions, PoisonMode, RunConfig, Setting};
+
+#[test]
+fn all_sample_programs_run_identically() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("samples directory") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mgo") {
+            continue;
+        }
+        let name = path.display().to_string();
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let cfg = RunConfig::deterministic(1);
+        let go = compile(&src, &CompileOptions::go())
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
+        let gofree = compile(&src, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
+        let go_out = execute(&go, Setting::Go, &cfg)
+            .unwrap_or_else(|e| panic!("{name} (go): {e}"));
+        let gf_out = execute(&gofree, Setting::GoFree, &cfg)
+            .unwrap_or_else(|e| panic!("{name} (gofree): {e}"));
+        assert_eq!(go_out.output, gf_out.output, "{name}");
+        let poisoned = execute(
+            &gofree,
+            Setting::GoFree,
+            &RunConfig {
+                poison: PoisonMode::Zero,
+                ..cfg
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name} (poisoned): {e}"));
+        assert_eq!(go_out.output, poisoned.output, "{name} poisoned");
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected several sample programs, found {checked}");
+}
