@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use minigo_syntax::{ExprId, FreeKind, FuncId, Program, Resolution, Type, TypeInfo, VarId, VarKind};
+use minigo_syntax::{
+    ExprId, FreeKind, FuncId, Program, Resolution, Type, TypeInfo, VarId, VarKind,
+};
 
 use crate::build::{build_func_graph, BuildOptions, FuncGraph};
 use crate::callgraph::CallGraph;
@@ -447,8 +449,7 @@ func caller() {
 
     #[test]
     fn summary_records_heap_escape() {
-        let src =
-            "func leak(p *int, sink *[]*int) { *sink = append(*sink, p) }\nfunc main() { }\n";
+        let src = "func leak(p *int, sink *[]*int) { *sink = append(*sink, p) }\nfunc main() { }\n";
         let (p, _, _, a) = run(src, AnalyzeOptions::default());
         let fid = p.func("leak").unwrap().id;
         let tag = &a.summaries[&fid];
@@ -473,10 +474,7 @@ func caller(n int, sink *[][]int) {
 "#;
         let (p, r, _, a) = run(src, AnalyzeOptions::default());
         let frees = free_names(&p, &r, &a, "caller");
-        assert!(
-            frees.is_empty(),
-            "s escapes through keep; got {frees:?}"
-        );
+        assert!(frees.is_empty(), "s escapes through keep; got {frees:?}");
     }
 
     #[test]
@@ -559,7 +557,9 @@ func f(n int) {
         );
         let frees2 = free_names(&p2, &r2, &a2, "f");
         assert!(
-            frees2.iter().any(|(n, k)| n == "q" && *k == FreeKind::Pointer),
+            frees2
+                .iter()
+                .any(|(n, k)| n == "q" && *k == FreeKind::Pointer),
             "got {frees2:?}"
         );
     }

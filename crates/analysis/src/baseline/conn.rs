@@ -96,18 +96,25 @@ pub fn analyze_func(
                     changed |= pts.entry(*dst).or_default().insert(*obj);
                 }
                 Constraint::Copy { dst, src } => {
-                    let add: Vec<Node> = pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    let add: Vec<Node> = pts
+                        .get(src)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
                     let d = pts.entry(*dst).or_default();
                     for n in add {
                         changed |= d.insert(n);
                     }
                 }
                 Constraint::Load { dst, src } => {
-                    let objs: Vec<Node> =
-                        pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    let objs: Vec<Node> = pts
+                        .get(src)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
                     for o in objs {
-                        let add: Vec<Node> =
-                            pts.get(&o).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        let add: Vec<Node> = pts
+                            .get(&o)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
                         let d = pts.entry(*dst).or_default();
                         for n in add {
                             changed |= d.insert(n);
@@ -115,10 +122,14 @@ pub fn analyze_func(
                     }
                 }
                 Constraint::Store { dst, src } => {
-                    let objs: Vec<Node> =
-                        pts.get(dst).map(|s| s.iter().copied().collect()).unwrap_or_default();
-                    let add: Vec<Node> =
-                        pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    let objs: Vec<Node> = pts
+                        .get(dst)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    let add: Vec<Node> = pts
+                        .get(src)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
                     for o in objs {
                         let d = pts.entry(o).or_default();
                         for n in &add {
@@ -332,7 +343,8 @@ impl<'a> Collector<'a> {
                             self.constraints.push(Constraint::Base { dst: t, obj });
                             for f in fields {
                                 let fv = self.eval(f);
-                                self.constraints.push(Constraint::Copy { dst: obj, src: fv });
+                                self.constraints
+                                    .push(Constraint::Copy { dst: obj, src: fv });
                             }
                         }
                         ExprKind::Field { base, .. } | ExprKind::Index { base, .. } => {
@@ -469,9 +481,7 @@ mod tests {
 
     #[test]
     fn load_through_double_pointer() {
-        let (r, cr) = run(
-            "func f() { x := 1\n p := &x\n pp := &p\n q := *pp\n q = q }\n",
-        );
+        let (r, cr) = run("func f() { x := 1\n p := &x\n pp := &p\n q := *pp\n q = q }\n");
         let pts = cr.points_to(var_named(&r, "q"));
         assert!(pts.contains(&Node::Var(var_named(&r, "x"))));
     }

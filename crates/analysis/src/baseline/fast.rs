@@ -13,8 +13,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use minigo_syntax::{
-    Block, Expr, ExprId, ExprKind, Func, Program, Resolution, Stmt, StmtKind, TypeInfo, UnOp,
-    VarId,
+    Block, Expr, ExprId, ExprKind, Func, Program, Resolution, Stmt, StmtKind, TypeInfo, UnOp, VarId,
 };
 
 /// What a class may point to.
@@ -250,7 +249,11 @@ impl<'a> Fast<'a> {
                 ExprKind::Ident(_) => {
                     if let Some(x) = self.res.def_of(operand.id) {
                         let r = self.out.find(v);
-                        self.out.pointees.entry(r).or_default().insert(Pointee::Var(x));
+                        self.out
+                            .pointees
+                            .entry(r)
+                            .or_default()
+                            .insert(Pointee::Var(x));
                     }
                 }
                 ExprKind::StructLit { .. } => {
@@ -263,9 +266,10 @@ impl<'a> Fast<'a> {
                 }
                 _ => self.mark_incomplete(v),
             },
-            ExprKind::Builtin { kind, .. }
-                if matches!(kind, minigo_syntax::Builtin::Make | minigo_syntax::Builtin::New) =>
-            {
+            ExprKind::Builtin {
+                kind: minigo_syntax::Builtin::Make | minigo_syntax::Builtin::New,
+                ..
+            } => {
                 let r = self.out.find(v);
                 self.out
                     .pointees

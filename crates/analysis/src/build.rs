@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 
 use minigo_syntax::{
-    Builtin, Expr, ExprId, ExprKind, Func, FuncId, Program, Resolution, StmtKind, Type,
-    TypeInfo, UnOp, VarId,
+    Builtin, Expr, ExprId, ExprKind, Func, FuncId, Program, Resolution, StmtKind, Type, TypeInfo,
+    UnOp, VarId,
 };
 
 use crate::graph::{AllocKind, ContentOrigin, EscapeGraph, LocId, LocKind, HEAP_LOC};
@@ -104,9 +104,8 @@ pub fn build_func_graph(
     // The per-function return dummy (definition 4.2): HeapAlloc(return) is
     // true (def 4.10) and DeclDepth(return) = -1 (def 4.13), which makes
     // every pointer to a returned object Outlived inside the callee.
-    let ret = b
-        .g
-        .add_location(LocKind::ReturnDummy, "return", -1, -1, true);
+    let ret =
+        b.g.add_location(LocKind::ReturnDummy, "return", -1, -1, true);
     b.g.loc_mut(ret).heap_alloc = true;
     b.return_dummy = ret;
 
@@ -214,10 +213,7 @@ impl<'a> Builder<'a> {
             StmtKind::VarDecl { names, init, .. } | StmtKind::ShortDecl { names, init } => {
                 let dsts: Vec<LocId> = (0..names.len())
                     .map(|i| {
-                        let vid = self
-                            .res
-                            .decl_of(stmt.id, i)
-                            .expect("resolved declaration");
+                        let vid = self.res.decl_of(stmt.id, i).expect("resolved declaration");
                         self.var_locs[&vid]
                     })
                     .collect();
@@ -240,8 +236,7 @@ impl<'a> Builder<'a> {
                     match &lhs[0].kind {
                         ExprKind::Index { base, index } => {
                             self.effect_only(index);
-                            let is_map =
-                                matches!(self.types.expr(base.id), Some(Type::Map(_, _)));
+                            let is_map = matches!(self.types.expr(base.id), Some(Type::Map(_, _)));
                             self.indirect_store(base, None, is_map.then_some(lhs[0].id));
                         }
                         ExprKind::Unary {
@@ -307,10 +302,8 @@ impl<'a> Builder<'a> {
             StmtKind::Return { exprs } => {
                 let results = self.res.results_of(self.func.id).to_vec();
                 if exprs.len() == 1 && results.len() > 1 {
-                    let targets: Vec<(LocId, i32)> = results
-                        .iter()
-                        .map(|r| (self.var_locs[r], 0))
-                        .collect();
+                    let targets: Vec<(LocId, i32)> =
+                        results.iter().map(|r| (self.var_locs[r], 0)).collect();
                     self.multi_value(&exprs[0], &targets);
                 } else {
                     for (rvar, e) in results.iter().zip(exprs) {
@@ -597,7 +590,11 @@ impl<'a> Builder<'a> {
                     }
                 }
             }
-            ExprKind::Builtin { kind, ty_args, args } => {
+            ExprKind::Builtin {
+                kind,
+                ty_args,
+                args,
+            } => {
                 self.builtin(e, *kind, ty_args, args, dst, k);
             }
             ExprKind::Call { .. } => {
@@ -664,11 +661,15 @@ impl<'a> Builder<'a> {
                             ExprKind::IntLit(v) if v >= 0 => Some(v as u64),
                             _ => None,
                         });
-                        let const_size =
-                            const_cap.map(|c| c * self.types.inline_size(elem));
+                        let const_size = const_cap.map(|c| c * self.types.inline_size(elem));
                         let pointerful = self.types.contains_pointers(elem);
-                        let a =
-                            self.alloc_loc(e, AllocKind::SliceArray, const_size, "make", pointerful);
+                        let a = self.alloc_loc(
+                            e,
+                            AllocKind::SliceArray,
+                            const_size,
+                            "make",
+                            pointerful,
+                        );
                         self.g.add_edge(a, dst, k - 1);
                     }
                     Type::Map(_, _) => {
@@ -730,11 +731,7 @@ impl<'a> Builder<'a> {
                     self.pin_idents(a);
                 }
             }
-            Builtin::Len
-            | Builtin::Cap
-            | Builtin::Delete
-            | Builtin::Print
-            | Builtin::Itoa => {
+            Builtin::Len | Builtin::Cap | Builtin::Delete | Builtin::Print | Builtin::Itoa => {
                 for a in args {
                     self.effect_only(a);
                 }
@@ -859,8 +856,7 @@ mod tests {
 
     #[test]
     fn simple_pointer_flow() {
-        let (_, _, _, mut fg) =
-            build_first("func f() { x := 1\n p := &x\n q := p\n q = q }\n");
+        let (_, _, _, mut fg) = build_first("func f() { x := 1\n p := &x\n q := p\n q = q }\n");
         solve(&mut fg.graph, &SolveConfig::default());
         let x = loc_by_name(&fg, "x");
         let q = loc_by_name(&fg, "q");
@@ -917,9 +913,8 @@ mod tests {
 
     #[test]
     fn return_makes_pointers_outlived() {
-        let (_, _, _, mut fg) = build_first(
-            "func f() []int { s := make([]int, 100000)\n return s }\n",
-        );
+        let (_, _, _, mut fg) =
+            build_first("func f() []int { s := make([]int, 100000)\n return s }\n");
         solve(&mut fg.graph, &SolveConfig::default());
         let s = loc_by_name(&fg, "s");
         assert!(fg.graph.loc(s).outlived, "returned object escapes");
@@ -928,9 +923,7 @@ mod tests {
 
     #[test]
     fn local_heap_slice_is_freeable() {
-        let (_, _, _, mut fg) = build_first(
-            "func f(n int) { s := make([]int, n)\n s[0] = 1 }\n",
-        );
+        let (_, _, _, mut fg) = build_first("func f(n int) { s := make([]int, n)\n s[0] = 1 }\n");
         solve(&mut fg.graph, &SolveConfig::default());
         let s = loc_by_name(&fg, "s");
         let l = fg.graph.loc(s);
@@ -964,9 +957,8 @@ mod tests {
 
     #[test]
     fn defer_pins_arguments() {
-        let (_, _, _, mut fg) = build_first(
-            "func f(n int) { s := make([]int, n)\n defer print(len(s)) }\n",
-        );
+        let (_, _, _, mut fg) =
+            build_first("func f(n int) { s := make([]int, n)\n defer print(len(s)) }\n");
         solve(&mut fg.graph, &SolveConfig::default());
         let s = loc_by_name(&fg, "s");
         assert!(fg.graph.loc(s).pinned);

@@ -142,9 +142,7 @@ impl CallGraph {
                     if state[w].index.is_none() {
                         dfs.push((w, 0));
                     } else if state[w].on_stack {
-                        state[v].lowlink = state[v].lowlink.min(
-                            state[w].index.expect("indexed"),
-                        );
+                        state[v].lowlink = state[v].lowlink.min(state[w].index.expect("indexed"));
                     }
                     continue;
                 }
@@ -288,9 +286,7 @@ mod tests {
 
     #[test]
     fn bottom_up_puts_callees_first() {
-        let order = order_names(
-            "func a() { b()\n c() }\nfunc b() { c() }\nfunc c() {}\n",
-        );
+        let order = order_names("func a() { b()\n c() }\nfunc b() { c() }\nfunc c() {}\n");
         let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));

@@ -241,7 +241,9 @@ impl EscapeGraph {
 
     /// Incoming edges of `dst` (for reverse walks).
     pub fn incoming(&self, dst: LocId) -> impl Iterator<Item = Edge> + '_ {
-        self.incoming[dst.index()].iter().map(|&i| self.edges[i as usize])
+        self.incoming[dst.index()]
+            .iter()
+            .map(|&i| self.edges[i as usize])
     }
 
     /// Iterates all location ids.
@@ -272,7 +274,11 @@ impl EscapeGraph {
                 LocKind::Content(_) => "ellipse",
                 _ => "box",
             };
-            let color = if l.heap_alloc { "palegreen" } else { "lightblue" };
+            let color = if l.heap_alloc {
+                "palegreen"
+            } else {
+                "lightblue"
+            };
             let mut flags = String::new();
             if l.exposes {
                 flags.push_str("\\nExposes");

@@ -299,11 +299,7 @@ impl<'p> Inliner<'p> {
             });
         }
         // Named results used by a bare return need declarations.
-        let named_results: Vec<_> = func
-            .results
-            .iter()
-            .filter(|r| !r.name.is_empty())
-            .collect();
+        let named_results: Vec<_> = func.results.iter().filter(|r| !r.name.is_empty()).collect();
         for r in &named_results {
             stmts.push(Stmt {
                 id: self.stmt_id(),
@@ -346,10 +342,7 @@ impl<'p> Inliner<'p> {
                     } else {
                         // Results discarded: still evaluate for effects.
                         for e in exprs {
-                            if matches!(
-                                e.kind,
-                                ExprKind::Call { .. } | ExprKind::Builtin { .. }
-                            ) {
+                            if matches!(e.kind, ExprKind::Call { .. } | ExprKind::Builtin { .. }) {
                                 stmts.push(Stmt {
                                     id: self.stmt_id(),
                                     kind: StmtKind::Expr { expr: e },
@@ -424,7 +417,12 @@ impl<'p> Inliner<'p> {
     /// Binds the callee's (renamed) result expressions to the call-site
     /// targets. Declarations were hoisted before the block, so this is
     /// always a plain assignment.
-    fn bind_targets(&mut self, targets: &[Target], exprs: Vec<Expr>, span: minigo_syntax::Span) -> Stmt {
+    fn bind_targets(
+        &mut self,
+        targets: &[Target],
+        exprs: Vec<Expr>,
+        span: minigo_syntax::Span,
+    ) -> Stmt {
         let lhs: Vec<Expr> = targets
             .iter()
             .map(|t| {
@@ -682,11 +680,7 @@ fn contains_call(e: &Expr) -> bool {
         ExprKind::Field { base, .. } => contains_call(base),
         ExprKind::Index { base, index } => contains_call(base) || contains_call(index),
         ExprKind::SliceExpr { base, lo, hi } => {
-            contains_call(base)
-                || [lo, hi]
-                    .into_iter()
-                    .flatten()
-                    .any(|b| contains_call(b))
+            contains_call(base) || [lo, hi].into_iter().flatten().any(|b| contains_call(b))
         }
         ExprKind::Builtin { args, .. } => args.iter().any(contains_call),
         ExprKind::StructLit { fields, .. } => fields.iter().any(contains_call),
@@ -774,7 +768,10 @@ mod tests {
             .values()
             .filter(|&&p| p == crate::analyze::AllocPlace::Stack)
             .count();
-        assert_eq!(stack_sites, 0, "escaping-by-return make is heap without inlining");
+        assert_eq!(
+            stack_sites, 0,
+            "escaping-by-return make is heap without inlining"
+        );
     }
 
     #[test]

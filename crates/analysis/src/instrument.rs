@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 
 use minigo_syntax::{
-    Block, Expr, ExprId, ExprKind, FreeKind, Program, Resolution, Span, Stmt, StmtId,
-    StmtKind, VarId,
+    Block, Expr, ExprId, ExprKind, FreeKind, Program, Resolution, Span, Stmt, StmtId, StmtKind,
+    VarId,
 };
 
 use crate::analyze::Analysis;
@@ -99,7 +99,9 @@ impl<'a> Inserter<'a> {
                         end_frees.extend(list);
                     }
                 }
-                StmtKind::For { init: Some(init), .. } => {
+                StmtKind::For {
+                    init: Some(init), ..
+                } => {
                     // Frees for for-init variables go right after the loop:
                     // that is where the implicit loop scope ends.
                     if let Some(list) = self.by_decl.remove(&init.id) {
@@ -232,9 +234,7 @@ mod tests {
 
     #[test]
     fn inserts_free_at_scope_end() {
-        let text = instrumented(
-            "func f(n int) { s := make([]int, n)\n s[0] = 1\n print(s[0]) }\n",
-        );
+        let text = instrumented("func f(n int) { s := make([]int, n)\n s[0] = 1\n print(s[0]) }\n");
         assert!(text.contains("tcfree(s)"), "{text}");
         let free_pos = text.find("tcfree(s)").unwrap();
         let print_pos = text.find("print(").unwrap();
@@ -280,9 +280,8 @@ mod tests {
 
     #[test]
     fn no_free_when_trailing_return_uses_var() {
-        let text = instrumented(
-            "func f(n int) int { s := make([]int, n)\n s[0] = 7\n return s[0] }\n",
-        );
+        let text =
+            instrumented("func f(n int) int { s := make([]int, n)\n s[0] = 7\n return s[0] }\n");
         assert!(
             !text.contains("tcfree(s)"),
             "freeing before `return s[0]` would be use-after-free: {text}"

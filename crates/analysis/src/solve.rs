@@ -236,7 +236,13 @@ fn apply_forward(g: &mut EscapeGraph, root: LocId, leaf: LocId, d: i32, cfg: &So
 /// Leaf→root constraints (GoFree's fig. 5 extension): `Outlived` (4.15),
 /// `PointsToHeap` (4.16), `Incomplete` from held values (4.12 clause c).
 /// Returns whether the root changed.
-fn apply_backward(g: &mut EscapeGraph, root: LocId, leaf: LocId, d: i32, cfg: &SolveConfig) -> bool {
+fn apply_backward(
+    g: &mut EscapeGraph,
+    root: LocId,
+    leaf: LocId,
+    d: i32,
+    cfg: &SolveConfig,
+) -> bool {
     if !cfg.gofree {
         return false;
     }

@@ -5,9 +5,7 @@
 
 use std::collections::HashMap;
 
-use minigo_escape::{
-    analyze, build_func_graph, solve, AnalyzeOptions, BuildOptions, SolveConfig,
-};
+use minigo_escape::{analyze, build_func_graph, solve, AnalyzeOptions, BuildOptions, SolveConfig};
 use minigo_syntax::frontend;
 
 /// A straight-line pointer-heavy function with `k` statements.
@@ -19,7 +17,10 @@ fn chain_program(k: usize) -> String {
             body.push_str(&format!("    *p{} = x{i}\n", i - 1));
         }
     }
-    body.push_str(&format!("    return x{}\n}}\nfunc main() {{ print(big(1)) }}\n", k - 1));
+    body.push_str(&format!(
+        "    return x{}\n}}\nfunc main() {{ print(big(1)) }}\n",
+        k - 1
+    ));
     body
 }
 
@@ -108,5 +109,9 @@ fn dense_alias_cliques_converge() {
         &BuildOptions::default(),
     );
     let stats = solve(&mut fg.graph, &SolveConfig::default());
-    assert!(stats.passes <= 6, "clique converged in {} passes", stats.passes);
+    assert!(
+        stats.passes <= 6,
+        "clique converged in {} passes",
+        stats.passes
+    );
 }

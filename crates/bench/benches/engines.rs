@@ -1,0 +1,57 @@
+//! Criterion benches comparing the two execution engines on the same
+//! compiled workloads. Virtual-time results are identical by
+//! construction (see `tests/engines.rs`); this measures the host
+//! wall-clock cost of tree-walking the AST versus dispatching the
+//! lowered bytecode. `--bin engines` prints the same comparison as a
+//! table with a geomean.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gofree::{compile, execute, RunConfig, Setting, VmEngine};
+use gofree_workloads::Scale;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_engines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for name in ["json", "scheck"] {
+        let w = gofree_workloads::by_name(name, Scale::Test).expect("workload");
+        let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
+        for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+            let cfg = RunConfig {
+                min_heap: 64 * 1024,
+                engine,
+                ..RunConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine}"), name),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| execute(compiled, Setting::GoFree, &cfg).expect("runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering");
+    group.sample_size(10);
+    let w = gofree_workloads::by_name("json", Scale::Test).expect("workload");
+    let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
+    group.bench_function("lower_json", |b| {
+        b.iter(|| {
+            minigo_vm::lower(
+                &compiled.program,
+                &compiled.resolution,
+                &compiled.types,
+                &compiled.analysis,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_lowering);
+criterion_main!(benches);

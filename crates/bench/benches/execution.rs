@@ -39,9 +39,13 @@ fn bench_microbenchmark(c: &mut Criterion) {
     for &cval in &[1u64, 16] {
         let src = gofree_workloads::micro::source(cval, 64);
         let compiled = compile(&src, &Setting::GoFree.compile_options()).expect("compiles");
-        group.bench_with_input(BenchmarkId::new("gofree", cval), &compiled, |b, compiled| {
-            b.iter(|| execute(compiled, Setting::GoFree, &cfg).expect("runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gofree", cval),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| execute(compiled, Setting::GoFree, &cfg).expect("runs"));
+            },
+        );
     }
     group.finish();
 }

@@ -5,9 +5,7 @@
 //! 3. the tcfree bail-out environment — migration probability sweep;
 //! 4. GrowMapAndFreeOld (§4.6.2) on/off.
 
-use gofree::{
-    compile, execute, CompileOptions, FreeTargets, Mode, RunConfig, Setting,
-};
+use gofree::{compile, execute, CompileOptions, FreeTargets, Mode, RunConfig, Setting};
 use gofree_bench::{eval_run_config, pct, HarnessOptions};
 
 fn free_ratio(src: &str, copts: &CompileOptions, cfg: &RunConfig) -> (f64, u64, u64) {
@@ -129,7 +127,10 @@ fn main() {
     }
 
     println!("\n3) tcfree bail-outs vs scheduler migration probability (json workload)");
-    println!("{:<12} {:>9} {:>8} {:>10}", "migrate p", "attempts", "bails", "free ratio");
+    println!(
+        "{:<12} {:>9} {:>8} {:>10}",
+        "migrate p", "attempts", "bails", "free ratio"
+    );
     let w = gofree_workloads::by_name("json", opts.scale()).expect("json");
     for p in [0.0, 0.0005, 0.005, 0.05] {
         let cfg = RunConfig {

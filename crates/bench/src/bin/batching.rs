@@ -64,8 +64,14 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let n = if opts.quick { 100 } else { 2000 };
     let base = eval_run_config();
-    println!("tcfree batching (§5): {} burst scopes, 4 frees per scope\n", n);
-    println!("{:<22} {:>12} {:>10} {:>10}", "workload", "time", "frees", "delta");
+    println!(
+        "tcfree batching (§5): {} burst scopes, 4 frees per scope\n",
+        n
+    );
+    println!(
+        "{:<22} {:>12} {:>10} {:>10}",
+        "workload", "time", "frees", "delta"
+    );
     let mut rows = Vec::new();
     let srcs = [("burst (best case)", multi_free_source(n))];
     for (label, src) in &srcs {

@@ -16,7 +16,12 @@ use minigo_syntax::frontend;
 
 /// Interleaves the two compilers' runs so thermal/frequency drift hits
 /// both samples equally.
-fn time_interleaved(src: &str, a: &CompileOptions, b: &CompileOptions, reps: u64) -> (Vec<f64>, Vec<f64>) {
+fn time_interleaved(
+    src: &str,
+    a: &CompileOptions,
+    b: &CompileOptions,
+    reps: u64,
+) -> (Vec<f64>, Vec<f64>) {
     let mut ta = Vec::new();
     let mut tb = Vec::new();
     let one = |opts: &CompileOptions, out: &mut Vec<f64>| {
@@ -46,8 +51,12 @@ fn main() {
         "Compilation speed (§6.7): corpus of {nfuncs} functions, {reps} compiles per compiler\n"
     );
 
-    let (go_times, gofree_times) =
-        time_interleaved(&src, &CompileOptions::go(), &CompileOptions::default(), reps);
+    let (go_times, gofree_times) = time_interleaved(
+        &src,
+        &CompileOptions::go(),
+        &CompileOptions::default(),
+        reps,
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let w = welch_t_test(&gofree_times, &go_times);
     let overhead = (mean(&gofree_times) / mean(&go_times) - 1.0) * 100.0;
@@ -59,7 +68,10 @@ fn main() {
         "GoFree  mean {:>9.1} us  (+completeness, lifetime, content tags, instrumentation)",
         mean(&gofree_times)
     );
-    println!("analysis-pass overhead {overhead:+.1}%   Welch p = {:.3}", w.p);
+    println!(
+        "analysis-pass overhead {overhead:+.1}%   Welch p = {:.3}",
+        w.p
+    );
     println!(
         "\nContext: this times ONLY the front end + escape analysis. In the real\nGo compiler the escape pass is a few percent of total compile time, so a\n~10-15% slowdown of the pass itself is invisible end-to-end — which is\nhow the paper can report p = 0.496 on whole compilations (§6.7). The\nimportant check is that GoFree stays within a small constant of Go's\nO(N^2) pass rather than growing asymptotically:"
     );

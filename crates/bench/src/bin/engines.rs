@@ -1,0 +1,68 @@
+//! Wall-clock comparison of the two execution engines.
+//!
+//! Runs every workload under Go and GoFree on the tree-walking
+//! interpreter and the bytecode VM, printing the best-of-N host time
+//! for each and the geomean speedup. Virtual-time metrics are identical
+//! across engines by construction (tests/engines.rs enforces this), so
+//! host time is the only dimension where the engines differ.
+//!
+//! `results/vm_engines.txt` is a saved run of this binary.
+
+use std::time::{Duration, Instant};
+
+use gofree::{compile, execute, Compiled, RunConfig, Setting, VmEngine};
+use gofree_bench::{eval_run_config, HarnessOptions};
+
+fn best_of(reps: u64, compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Duration {
+    execute(compiled, setting, cfg).expect("workload runs"); // warm-up
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            execute(compiled, setting, cfg).expect("workload runs");
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let reps = if opts.quick { 2 } else { 5 };
+    let base = eval_run_config();
+    println!(
+        "VM engine wall-clock comparison (best of {reps}, scale {:?})\n",
+        opts.scale()
+    );
+    println!(
+        "{:<10} {:<7} {:>12} {:>12} {:>9}",
+        "workload", "setting", "tree-walk", "bytecode", "speedup"
+    );
+    let mut ratios = Vec::new();
+    for w in gofree_workloads::all(opts.scale()) {
+        for setting in [Setting::Go, Setting::GoFree] {
+            let compiled =
+                compile(&w.source, &setting.compile_options()).expect("workload compiles");
+            let time = |engine: VmEngine| {
+                let cfg = RunConfig {
+                    engine,
+                    ..base.clone()
+                };
+                best_of(reps, &compiled, setting, &cfg)
+            };
+            let tree = time(VmEngine::TreeWalk);
+            let byte = time(VmEngine::Bytecode);
+            let speedup = tree.as_secs_f64() / byte.as_secs_f64();
+            ratios.push(speedup);
+            println!(
+                "{:<10} {:<7} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+                w.name,
+                setting.to_string(),
+                tree.as_secs_f64() * 1e3,
+                byte.as_secs_f64() * 1e3,
+                speedup
+            );
+        }
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("\ngeomean speedup: {geomean:.2}x (bytecode over tree-walk)");
+}

@@ -27,11 +27,11 @@ fn main() {
         assert_eq!(go_r.output, gf_r.output, "same behaviour at c={c}");
         let p = fig10_point(c, &go_r, &gf_r);
         let freed_objs: u64 = gf_r.metrics.freed_objects_by_source.iter().sum();
-        let mean_obj = if freed_objs == 0 {
-            0
-        } else {
-            gf_r.metrics.freed_bytes / freed_objs
-        };
+        let mean_obj = gf_r
+            .metrics
+            .freed_bytes
+            .checked_div(freed_objs)
+            .unwrap_or(0);
         println!(
             "{:>4} | {:>10} {:>10} {:>10} {:>10} | {:>12} B",
             p.c,

@@ -13,8 +13,7 @@ fn main() {
     let mut checked = 0;
     let mut failed = 0;
     for w in gofree_workloads::all(opts.scale()) {
-        let compiled =
-            compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
+        let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
         let clean = execute(&compiled, Setting::GoFree, &eval_run_config()).expect("clean run");
         for (label, poison) in [("zero", PoisonMode::Zero), ("flip", PoisonMode::Flip)] {
             let cfg = RunConfig {

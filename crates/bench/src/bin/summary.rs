@@ -8,13 +8,23 @@ use gofree_bench::{eval_run_config, pct, run_three_settings, HarnessOptions};
 fn main() {
     let opts = HarnessOptions::from_args();
     let runs = opts.runs.min(15);
-    let base = eval_run_config();
-    println!("GoFree reproduction summary ({runs} runs per setting, scale: {:?})\n", opts.scale());
+    let base = gofree::RunConfig {
+        engine: opts.engine,
+        ..eval_run_config()
+    };
+    println!(
+        "GoFree reproduction summary ({runs} runs per setting, scale: {:?}, engine: {})\n",
+        opts.scale(),
+        opts.engine
+    );
 
     let mut time = Vec::new();
     let mut gcs = Vec::new();
     let mut free = Vec::new();
-    println!("{:<10} {:>6} {:>6} {:>6}   reclamation S/M/G", "project", "time", "GCs", "free");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6}   reclamation S/M/G",
+        "project", "time", "GCs", "free"
+    );
     for w in gofree_workloads::all(opts.scale()) {
         let (go, gofree, gcoff) = run_three_settings(&w.source, runs, &base);
         let row = table7_row(w.name, &go, &gofree, &gcoff);

@@ -15,7 +15,18 @@ fn main() {
     );
     println!(
         "{:<10} | {:>6} {:>6} {:>7} | {:>7} | {:>6} {:>6} {:>7} | {:>6} | {:>7} {:>6} {:>7}",
-        "project", "time", "stdev", "p", "GCtime", "GCs", "stdev", "p", "free", "maxheap", "stdev", "p"
+        "project",
+        "time",
+        "stdev",
+        "p",
+        "GCtime",
+        "GCs",
+        "stdev",
+        "p",
+        "free",
+        "maxheap",
+        "stdev",
+        "p"
     );
     println!("{}", "-".repeat(108));
 
@@ -41,9 +52,8 @@ fn main() {
         rows.push(row);
     }
 
-    let avg = |f: &dyn Fn(&gofree::Table7Row) -> f64| {
-        rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
-    };
+    let avg =
+        |f: &dyn Fn(&gofree::Table7Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     println!("{}", "-".repeat(108));
     println!(
         "{:<10} | {:>6} {:>6} {:>7} | {:>7} | {:>6} {:>6} {:>7} | {:>6} | {:>7} {:>6} {:>7}",
@@ -60,8 +70,6 @@ fn main() {
         "",
         "",
     );
-    println!(
-        "\nPaper's averages: time 98%, GC time 87%, GCs 93%, free 14%, maxheap 96%."
-    );
+    println!("\nPaper's averages: time 98%, GC time 87%, GCs 93%, free 14%, maxheap 96%.");
     println!("Expected shape: GoFree never loses; json/scheck/slayout benefit most; badger/hugo are flat.");
 }

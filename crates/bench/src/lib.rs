@@ -27,6 +27,10 @@ pub struct HarnessOptions {
     pub runs: u64,
     /// Use the quick test scale instead of the full evaluation scale.
     pub quick: bool,
+    /// Which VM engine executes the workloads. Results are identical
+    /// either way (differential-tested); the engines only differ in host
+    /// wall-clock speed.
+    pub engine: gofree::VmEngine,
 }
 
 impl Default for HarnessOptions {
@@ -34,6 +38,7 @@ impl Default for HarnessOptions {
         HarnessOptions {
             runs: 99,
             quick: false,
+            engine: gofree::VmEngine::default(),
         }
     }
 }
@@ -56,8 +61,16 @@ impl HarnessOptions {
                         opts.runs = 9;
                     }
                 }
+                "--engine" | "-e" => {
+                    if let Some(e) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.engine = e;
+                    }
+                }
                 "--help" | "-h" => {
-                    eprintln!("options: --runs N (default 99), --quick");
+                    eprintln!(
+                        "options: --runs N (default 99), --quick, \
+                         --engine tree-walk|bytecode (default bytecode)"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown option {other}"),

@@ -157,10 +157,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             };
             let report = execute(&compiled, Setting::GoFree, &cfg).map_err(|e| e.to_string())?;
             let spans = collect_spans(&compiled.program);
-            println!(
-                "{:>6} {:>12} {:>10}  {}",
-                "count", "bytes", "location", "site"
-            );
+            println!("{:>6} {:>12} {:>10}  site", "count", "bytes", "location");
             for p in report.site_profile.iter().take(20) {
                 let (loc, what) = spans
                     .get(&p.site)
@@ -303,11 +300,7 @@ fn print_analysis(compiled: &gofree::Compiled, only: Option<&str>) {
         }
         if let Some(frees) = compiled.analysis.free_vars.get(&func.id) {
             for (vid, kind) in frees {
-                println!(
-                    "  -> {} {}",
-                    kind,
-                    compiled.resolution.var(*vid).name
-                );
+                println!("  -> {} {}", kind, compiled.resolution.var(*vid).name);
             }
         }
         println!();
@@ -374,9 +367,7 @@ fn collect_stmt(stmt: &Stmt, fname: &str, out: &mut HashMap<ExprId, (Span, Strin
         } => {
             collect_expr(subject, fname, out);
             for case in cases {
-                case.values
-                    .iter()
-                    .for_each(|v| collect_expr(v, fname, out));
+                case.values.iter().for_each(|v| collect_expr(v, fname, out));
                 collect_block(&case.body, fname, out);
             }
             if let Some(default) = default {

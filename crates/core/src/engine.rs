@@ -5,7 +5,7 @@ use minigo_escape::Mode;
 use minigo_runtime::{PoisonMode, RuntimeConfig};
 use minigo_vm::{run, ExecError, RunOutcome, VmConfig};
 
-use crate::pipeline::{compile, Compiled, CompileOptions};
+use crate::pipeline::{compile, CompileOptions, Compiled};
 
 /// The three settings of §6.4: Go, GoFree, and Go with GC disabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +48,46 @@ impl std::fmt::Display for Setting {
     }
 }
 
+/// Which execution engine runs the compiled program.
+///
+/// Both engines are observationally identical — same output, free
+/// counts, heap/GC metrics, and virtual time (the workspace's
+/// differential tests enforce this) — so the choice only affects host
+/// wall-clock speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VmEngine {
+    /// The tree-walking interpreter (the original engine; simplest, and
+    /// the reference for differential testing).
+    TreeWalk,
+    /// The slot-indexed bytecode VM (the default: same observable
+    /// behaviour, faster dispatch).
+    #[default]
+    Bytecode,
+}
+
+impl std::fmt::Display for VmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmEngine::TreeWalk => write!(f, "tree-walk"),
+            VmEngine::Bytecode => write!(f, "bytecode"),
+        }
+    }
+}
+
+impl std::str::FromStr for VmEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree-walk" | "treewalk" | "ast" => Ok(VmEngine::TreeWalk),
+            "bytecode" | "bc" => Ok(VmEngine::Bytecode),
+            other => Err(format!(
+                "unknown engine {other:?} (expected \"tree-walk\" or \"bytecode\")"
+            )),
+        }
+    }
+}
+
 /// Per-run knobs.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -65,6 +105,8 @@ pub struct RunConfig {
     pub poison: PoisonMode,
     /// Statement budget.
     pub step_limit: u64,
+    /// Which VM engine executes the program.
+    pub engine: VmEngine,
 }
 
 impl Default for RunConfig {
@@ -77,6 +119,7 @@ impl Default for RunConfig {
             jitter: 0.02,
             poison: PoisonMode::Off,
             step_limit: 500_000_000,
+            engine: VmEngine::default(),
         }
     }
 }
@@ -102,7 +145,11 @@ pub type Report = RunOutcome;
 /// # Errors
 ///
 /// Propagates VM errors (panics, poisoned reads, limits).
-pub fn execute(compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Result<Report, ExecError> {
+pub fn execute(
+    compiled: &Compiled,
+    setting: Setting,
+    cfg: &RunConfig,
+) -> Result<Report, ExecError> {
     let runtime = RuntimeConfig {
         gc_enabled: setting.gc_enabled(),
         gogc: cfg.gogc,
@@ -119,13 +166,16 @@ pub fn execute(compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Result
         grow_map_free_old: compiled.analysis.options.mode == Mode::GoFree,
         ..VmConfig::default()
     };
-    run(
-        &compiled.program,
-        &compiled.resolution,
-        &compiled.types,
-        &compiled.analysis,
-        vm_cfg,
-    )
+    match cfg.engine {
+        VmEngine::TreeWalk => run(
+            &compiled.program,
+            &compiled.resolution,
+            &compiled.types,
+            &compiled.analysis,
+            vm_cfg,
+        ),
+        VmEngine::Bytecode => minigo_vm::run_module(&compiled.lowered, vm_cfg),
+    }
 }
 
 /// Compiles and runs `src` under `setting` in one step.

@@ -26,12 +26,14 @@ pub mod experiment;
 pub mod pipeline;
 pub mod stats;
 
-pub use engine::{compile_and_run, execute, run_distribution, Report, RunConfig, Setting};
+pub use engine::{
+    compile_and_run, execute, run_distribution, Report, RunConfig, Setting, VmEngine,
+};
 pub use experiment::{
     distribution, fig10_point, table7_row, table8_row, table9_row, Distribution, Fig10Point,
     MetricComparison, Table7Row, Table8Row, Table9Row,
 };
-pub use pipeline::{compile, Compiled, CompileOptions};
+pub use pipeline::{compile, CompileOptions, Compiled};
 pub use stats::{mean, stdev, welch_t_test, Welch};
 
 // Re-export the pieces callers commonly need alongside the facade.

@@ -1,8 +1,7 @@
 //! The compile pipeline: front end → escape analysis → instrumentation.
 
 use minigo_escape::{
-    analyze, inline_program, instrument, Analysis, AnalyzeOptions, FreeTargets, InlineOptions,
-    Mode,
+    analyze, inline_program, instrument, Analysis, AnalyzeOptions, FreeTargets, InlineOptions, Mode,
 };
 use minigo_syntax::{
     parse, print_program, resolve, typecheck, Diagnostic, Program, Resolution, TypeInfo,
@@ -69,6 +68,9 @@ pub struct Compiled {
     pub types: TypeInfo,
     /// The escape analysis results (allocation decisions, free choices).
     pub analysis: Analysis,
+    /// The program lowered to the slot-indexed bytecode IR (the default
+    /// execution engine; the tree-walk ignores it).
+    pub lowered: minigo_vm::Module,
 }
 
 impl Compiled {
@@ -102,11 +104,13 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
     } else {
         program
     };
+    let lowered = minigo_vm::lower(&program, &resolution, &types, &analysis);
     Ok(Compiled {
         program,
         resolution,
         types,
         analysis,
+        lowered,
     })
 }
 

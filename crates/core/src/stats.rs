@@ -65,10 +65,13 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Welch {
         };
     }
     let t = (ma - mb) / (va + vb).sqrt();
-    let df = (va + vb) * (va + vb)
-        / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let df = (va + vb) * (va + vb) / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
     let p = 2.0 * student_t_sf(t.abs(), df);
-    Welch { t, df, p: p.clamp(0.0, 1.0) }
+    Welch {
+        t,
+        df,
+        p: p.clamp(0.0, 1.0),
+    }
 }
 
 /// Survival function of Student's t distribution: P(T > t) for t ≥ 0.
@@ -87,9 +90,7 @@ fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

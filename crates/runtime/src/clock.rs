@@ -7,8 +7,7 @@
 //! fixed number of ticks, optionally perturbed by seeded jitter so that
 //! repeated runs form a distribution (fig. 11).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::SimRng;
 
 /// Tick charges for runtime events.
 #[derive(Debug, Clone)]
@@ -87,13 +86,13 @@ impl Clock {
 
     /// Charges `ticks` perturbed by seeded jitter (for costs that vary in
     /// real systems: refills, GC cycles, page faults).
-    pub fn charge_jittered(&mut self, ticks: u64, rng: &mut StdRng) {
+    pub fn charge_jittered(&mut self, ticks: u64, rng: &mut SimRng) {
         if self.jitter_ppm == 0 || ticks == 0 {
             self.total += ticks;
             return;
         }
         let amp = self.jitter_ppm;
-        let factor = 1000 - amp + rng.gen_range(0..=2 * amp);
+        let factor = 1000 - amp + rng.gen_range_inclusive(0, 2 * amp);
         self.total += (ticks * factor) / 1000;
     }
 }
@@ -101,7 +100,6 @@ impl Clock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn charge_accumulates() {
@@ -113,7 +111,7 @@ mod tests {
 
     #[test]
     fn zero_jitter_is_exact() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut c = Clock::new(0.0);
         c.charge_jittered(1000, &mut rng);
         assert_eq!(c.now(), 1000);
@@ -121,7 +119,7 @@ mod tests {
 
     #[test]
     fn jitter_stays_bounded() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let mut c = Clock::new(0.1);
         for _ in 0..100 {
             let before = c.now();
@@ -134,7 +132,7 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let mut c = Clock::new(0.05);
             for _ in 0..10 {
                 c.charge_jittered(500, &mut rng);

@@ -29,11 +29,13 @@
 pub mod clock;
 pub mod heap;
 pub mod metrics;
+pub mod rng;
 pub mod runtime;
 pub mod sizeclass;
 
 pub use clock::{Clock, CostModel};
 pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SpanId, SweepOutcome};
 pub use metrics::{BailReason, Category, FreeSource, Metrics};
+pub use rng::SimRng;
 pub use runtime::{FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
 pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};

@@ -12,12 +12,10 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::clock::{Clock, CostModel};
 use crate::heap::{footprint, Heap, ObjAddr, SweepOutcome};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
+use crate::rng::SimRng;
 use crate::sizeclass::{class_for, class_size, large_pages, MAX_SMALL_SIZE};
 
 /// How the §6.8 robustness mock corrupts memory instead of freeing it.
@@ -99,7 +97,7 @@ pub struct Runtime {
     heap: Heap,
     clock: Clock,
     metrics: Metrics,
-    rng: StdRng,
+    rng: SimRng,
     current_thread: u32,
     gc_running: bool,
     assist_left: u64,
@@ -113,7 +111,7 @@ impl Runtime {
         let clock = Clock::new(cfg.jitter);
         let heap = Heap::new(cfg.threads as usize);
         let next_gc = cfg.min_heap;
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SimRng::seed_from_u64(cfg.seed);
         Runtime {
             cfg,
             heap,
@@ -488,7 +486,10 @@ mod tests {
             ..quiet_cfg()
         });
         let a = rt.alloc(64, Category::Slice);
-        assert_eq!(rt.tcfree(a, FreeSource::SliceLifetime), FreeOutcome::Poisoned);
+        assert_eq!(
+            rt.tcfree(a, FreeSource::SliceLifetime),
+            FreeOutcome::Poisoned
+        );
         assert_eq!(rt.heap_live(), 64, "object stays allocated");
         assert_eq!(rt.metrics().freed_bytes, 0);
     }

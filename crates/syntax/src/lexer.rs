@@ -79,23 +79,23 @@ impl<'s> Lexer<'s> {
     /// Go-style automatic semicolon insertion: a newline terminates a
     /// statement when the previous token could end one.
     fn insert_semicolon_if_needed(&mut self, at: usize) {
-        let insert = match self.tokens.last().map(|t| &t.kind) {
+        let insert = matches!(
+            self.tokens.last().map(|t| &t.kind),
             Some(
                 TokenKind::Int(_)
-                | TokenKind::Str(_)
-                | TokenKind::Ident(_)
-                | TokenKind::True
-                | TokenKind::False
-                | TokenKind::Nil
-                | TokenKind::Return
-                | TokenKind::Break
-                | TokenKind::Continue
-                | TokenKind::RParen
-                | TokenKind::RBrace
-                | TokenKind::RBracket,
-            ) => true,
-            _ => false,
-        };
+                    | TokenKind::Str(_)
+                    | TokenKind::Ident(_)
+                    | TokenKind::True
+                    | TokenKind::False
+                    | TokenKind::Nil
+                    | TokenKind::Return
+                    | TokenKind::Break
+                    | TokenKind::Continue
+                    | TokenKind::RParen
+                    | TokenKind::RBrace
+                    | TokenKind::RBracket,
+            )
+        );
         if insert {
             self.tokens.push(Token {
                 kind: TokenKind::Semi,
@@ -125,9 +125,9 @@ impl<'s> Lexer<'s> {
         }
         let text = &self.src[start..self.pos];
         let span = Span::new(start as u32, self.pos as u32);
-        let value: i64 = text
-            .parse()
-            .map_err(|_| Diagnostic::new(format!("integer literal `{text}` overflows i64"), span))?;
+        let value: i64 = text.parse().map_err(|_| {
+            Diagnostic::new(format!("integer literal `{text}` overflows i64"), span)
+        })?;
         self.tokens.push(Token {
             kind: TokenKind::Int(value),
             span,

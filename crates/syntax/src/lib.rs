@@ -38,8 +38,8 @@ pub mod typecheck;
 pub mod types;
 
 pub use ast::{
-    BinOp, Block, BlockId, Builtin, Expr, ExprId, ExprKind, FreeKind, Func, FuncId, Param,
-    Program, Stmt, StmtId, StmtKind, StructDef, SwitchCase, UnOp,
+    BinOp, Block, BlockId, Builtin, Expr, ExprId, ExprKind, FreeKind, Func, FuncId, Param, Program,
+    Stmt, StmtId, StmtKind, StructDef, SwitchCase, UnOp,
 };
 pub use diag::{Diagnostic, Result};
 pub use lexer::lex;

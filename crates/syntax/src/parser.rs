@@ -109,7 +109,11 @@ impl Parser {
             Ok(sp)
         } else {
             Err(Diagnostic::new(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }
@@ -373,9 +377,7 @@ impl Parser {
                 let sp = block.span;
                 Ok(self.mk_stmt(StmtKind::BlockStmt { block }, sp))
             }
-            TokenKind::Ident(name)
-                if name == "tcfree" && self.peek_at(1) == &TokenKind::LParen =>
-            {
+            TokenKind::Ident(name) if name == "tcfree" && self.peek_at(1) == &TokenKind::LParen => {
                 let start = self.span();
                 self.bump(); // tcfree
                 self.bump(); // (
@@ -590,15 +592,15 @@ impl Parser {
             } else if self.eat(&TokenKind::Default) {
                 self.expect(&TokenKind::Colon)?;
                 if default.is_some() {
-                    return Err(Diagnostic::new(
-                        "duplicate default case",
-                        self.prev_span(),
-                    ));
+                    return Err(Diagnostic::new("duplicate default case", self.prev_span()));
                 }
                 default = Some(self.case_body()?);
             } else {
                 return Err(Diagnostic::new(
-                    format!("expected `case` or `default`, found {}", self.peek().describe()),
+                    format!(
+                        "expected `case` or `default`, found {}",
+                        self.peek().describe()
+                    ),
                     self.span(),
                 ));
             }
@@ -640,14 +642,13 @@ impl Parser {
 
     fn return_stmt(&mut self) -> Result<Stmt> {
         let start = self.expect(&TokenKind::Return)?;
-        let exprs = if self.at(&TokenKind::Semi)
-            || self.at(&TokenKind::RBrace)
-            || self.at(&TokenKind::Eof)
-        {
-            Vec::new()
-        } else {
-            self.expr_list()?
-        };
+        let exprs =
+            if self.at(&TokenKind::Semi) || self.at(&TokenKind::RBrace) || self.at(&TokenKind::Eof)
+            {
+                Vec::new()
+            } else {
+                self.expr_list()?
+            };
         let span = start.merge(self.prev_span());
         Ok(self.mk_stmt(StmtKind::Return { exprs }, span))
     }
@@ -658,7 +659,10 @@ impl Parser {
         match call.kind {
             ExprKind::Call { .. } | ExprKind::Builtin { .. } => {}
             _ => {
-                return Err(Diagnostic::new("defer requires a call expression", call.span));
+                return Err(Diagnostic::new(
+                    "defer requires a call expression",
+                    call.span,
+                ));
             }
         }
         let span = start.merge(call.span);
@@ -1076,7 +1080,11 @@ mod tests {
         let stmts = &p.funcs[0].body.stmts;
         match &stmts[0].kind {
             StmtKind::ShortDecl { init, .. } => match &init[0].kind {
-                ExprKind::Builtin { kind, ty_args, args } => {
+                ExprKind::Builtin {
+                    kind,
+                    ty_args,
+                    args,
+                } => {
                     assert_eq!(*kind, Builtin::Make);
                     assert_eq!(ty_args[0], Type::slice(Type::Int));
                     assert_eq!(args.len(), 2);
@@ -1087,7 +1095,11 @@ mod tests {
         }
         match &stmts[1].kind {
             StmtKind::ShortDecl { init, .. } => match &init[0].kind {
-                ExprKind::Builtin { kind, ty_args, args } => {
+                ExprKind::Builtin {
+                    kind,
+                    ty_args,
+                    args,
+                } => {
                     assert_eq!(*kind, Builtin::Make);
                     assert_eq!(ty_args[0], Type::map(Type::Str, Type::Int));
                     assert!(args.is_empty());
@@ -1106,10 +1118,7 @@ mod tests {
             StmtKind::ShortDecl { init, .. } => {
                 assert!(matches!(
                     init[0].kind,
-                    ExprKind::Unary {
-                        op: UnOp::Addr,
-                        ..
-                    }
+                    ExprKind::Unary { op: UnOp::Addr, .. }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -1159,10 +1168,7 @@ mod tests {
     #[test]
     fn precedence_or_lower_than_and() {
         let e = parse_expr("a || b && c").unwrap();
-        assert!(matches!(
-            e.kind,
-            ExprKind::Binary { op: BinOp::Or, .. }
-        ));
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Or, .. }));
     }
 
     #[test]
@@ -1173,13 +1179,7 @@ mod tests {
                 op: BinOp::Add,
                 rhs,
                 ..
-            } => assert!(matches!(
-                rhs.kind,
-                ExprKind::Binary {
-                    op: BinOp::Mul,
-                    ..
-                }
-            )),
+            } => assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. })),
             other => panic!("expected add at top, got {other:?}"),
         }
     }
@@ -1307,7 +1307,9 @@ mod tests {
 
     #[test]
     fn var_decl_with_and_without_init() {
-        let p = parse_ok("func f() { var x int\n var y int = 3\n var a, b int = 1, 2\n x = y + a + b }\n");
+        let p = parse_ok(
+            "func f() { var x int\n var y int = 3\n var a, b int = 1, 2\n x = y + a + b }\n",
+        );
         match &p.funcs[0].body.stmts[2].kind {
             StmtKind::VarDecl { names, init, .. } => {
                 assert_eq!(names.len(), 2);

@@ -263,7 +263,11 @@ pub fn print_expr(out: &mut String, expr: &Expr) {
             print_exprs(out, args);
             out.push(')');
         }
-        ExprKind::Builtin { kind, ty_args, args } => {
+        ExprKind::Builtin {
+            kind,
+            ty_args,
+            args,
+        } => {
             out.push_str(kind.name());
             out.push('(');
             let mut first = true;

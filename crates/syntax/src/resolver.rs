@@ -382,10 +382,9 @@ impl Resolver {
                 self.res.use_def.insert(expr.id, id);
                 Ok(())
             }
-            ExprKind::IntLit(_)
-            | ExprKind::BoolLit(_)
-            | ExprKind::StrLit(_)
-            | ExprKind::Nil => Ok(()),
+            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Nil => {
+                Ok(())
+            }
             ExprKind::Unary { operand, .. } => self.expr(operand),
             ExprKind::Binary { lhs, rhs, .. } => {
                 self.expr(lhs)?;
@@ -471,9 +470,7 @@ mod tests {
 
     #[test]
     fn decl_depth_tracks_nesting() {
-        let (_, r) = resolve_src(
-            "func f() { a := 1\n { b := 2\n { c := 3\n c = b + a } } }\n",
-        );
+        let (_, r) = resolve_src("func f() { a := 1\n { b := 2\n { c := 3\n c = b + a } } }\n");
         assert_eq!(find_var(&r, "a").decl_depth, 1);
         assert_eq!(find_var(&r, "b").decl_depth, 2);
         assert_eq!(find_var(&r, "c").decl_depth, 3);
@@ -535,7 +532,8 @@ mod tests {
 
     #[test]
     fn for_init_variable_visible_in_body_and_post() {
-        let (_, r) = resolve_src("func f(n int) { for i := 0; i < n; i += 1 { x := i\n x = x } }\n");
+        let (_, r) =
+            resolve_src("func f(n int) { for i := 0; i < n; i += 1 { x := i\n x = x } }\n");
         assert_eq!(find_var(&r, "i").kind, VarKind::Local);
     }
 

@@ -59,27 +59,27 @@ pub enum TokenKind {
     Semi,
     Colon,
     Dot,
-    Assign,       // =
-    Define,       // :=
-    Plus,         // +
-    Minus,        // -
-    Star,         // *
-    Slash,        // /
-    Percent,      // %
-    Amp,          // &
-    Not,          // !
-    Eq,           // ==
-    Ne,           // !=
-    Lt,           // <
-    Le,           // <=
-    Gt,           // >
-    Ge,           // >=
-    AndAnd,       // &&
-    OrOr,         // ||
-    PlusAssign,   // +=
-    MinusAssign,  // -=
-    StarAssign,   // *=
-    SlashAssign,  // /=
+    Assign,      // =
+    Define,      // :=
+    Plus,        // +
+    Minus,       // -
+    Star,        // *
+    Slash,       // /
+    Percent,     // %
+    Amp,         // &
+    Not,         // !
+    Eq,          // ==
+    Ne,          // !=
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    AndAnd,      // &&
+    OrOr,        // ||
+    PlusAssign,  // +=
+    MinusAssign, // -=
+    StarAssign,  // *=
+    SlashAssign, // /=
 
     /// End of input.
     Eof,

@@ -178,9 +178,10 @@ impl<'p> Checker<'p> {
                     self.require_assignable(ty, got, stmt.span)?;
                 }
                 for i in 0..names.len() {
-                    let vid = self.res.decl_of(stmt.id, i).ok_or_else(|| {
-                        Diagnostic::new("unresolved declaration", stmt.span)
-                    })?;
+                    let vid = self
+                        .res
+                        .decl_of(stmt.id, i)
+                        .ok_or_else(|| Diagnostic::new("unresolved declaration", stmt.span))?;
                     self.info.var_ty.insert(vid, ty.clone());
                 }
                 Ok(())
@@ -188,9 +189,10 @@ impl<'p> Checker<'p> {
             StmtKind::ShortDecl { names, init } => {
                 let tys = self.rhs_types(init, names.len(), stmt.span, None)?;
                 for (i, got) in tys.iter().enumerate() {
-                    let vid = self.res.decl_of(stmt.id, i).ok_or_else(|| {
-                        Diagnostic::new("unresolved declaration", stmt.span)
-                    })?;
+                    let vid = self
+                        .res
+                        .decl_of(stmt.id, i)
+                        .ok_or_else(|| Diagnostic::new("unresolved declaration", stmt.span))?;
                     self.info.var_ty.insert(vid, got.clone());
                 }
                 Ok(())
@@ -256,9 +258,7 @@ impl<'p> Checker<'p> {
                 if exprs.is_empty() {
                     // Bare return: legal when there are no results or when
                     // all results are named (their current values are used).
-                    if !results.is_empty()
-                        && func.results.iter().any(|r| r.name.is_empty())
-                    {
+                    if !results.is_empty() && func.results.iter().any(|r| r.name.is_empty()) {
                         return Err(Diagnostic::new(
                             "bare return with unnamed results",
                             stmt.span,
@@ -374,9 +374,10 @@ impl<'p> Checker<'p> {
     ) -> Result<Vec<Type>> {
         if init.is_empty() {
             return Ok(vec![
-                expected
-                    .cloned()
-                    .ok_or_else(|| Diagnostic::new("missing initializer", span))?;
+                expected.cloned().ok_or_else(|| Diagnostic::new(
+                    "missing initializer",
+                    span
+                ))?;
                 want
             ]);
         }
@@ -456,7 +457,10 @@ impl<'p> Checker<'p> {
             } => Ok(()),
             ExprKind::Field { base, .. } => self.check_lvalue_base(base),
             ExprKind::Index { base, .. } => self.check_lvalue_base(base),
-            _ => Err(Diagnostic::new("cannot assign to this expression", expr.span)),
+            _ => Err(Diagnostic::new(
+                "cannot assign to this expression",
+                expr.span,
+            )),
         }
     }
 
@@ -566,11 +570,9 @@ impl<'p> Checker<'p> {
                     .res
                     .def_of(expr.id)
                     .ok_or_else(|| Diagnostic::new("unresolved identifier", expr.span))?;
-                self.info
-                    .var_ty
-                    .get(&vid)
-                    .cloned()
-                    .ok_or_else(|| Diagnostic::new("variable used before its type is known", expr.span))
+                self.info.var_ty.get(&vid).cloned().ok_or_else(|| {
+                    Diagnostic::new("variable used before its type is known", expr.span)
+                })
             }
             ExprKind::Unary { op, operand } => match op {
                 UnOp::Neg => {
@@ -647,10 +649,7 @@ impl<'p> Checker<'p> {
                         }
                     },
                     other => {
-                        return Err(Diagnostic::new(
-                            format!("{other} has no fields"),
-                            expr.span,
-                        ));
+                        return Err(Diagnostic::new(format!("{other} has no fields"), expr.span));
                     }
                 };
                 let fields = self.info.fields_of(&sname).ok_or_else(|| {
@@ -680,10 +679,7 @@ impl<'p> Checker<'p> {
                         self.require_assignable(&k, &it, index.span)?;
                         Ok(*v)
                     }
-                    other => Err(Diagnostic::new(
-                        format!("cannot index {other}"),
-                        expr.span,
-                    )),
+                    other => Err(Diagnostic::new(format!("cannot index {other}"), expr.span)),
                 }
             }
             ExprKind::SliceExpr { base, lo, hi } => {
@@ -714,9 +710,11 @@ impl<'p> Checker<'p> {
                     )),
                 }
             }
-            ExprKind::Builtin { kind, ty_args, args } => {
-                self.builtin(expr, *kind, ty_args, args)
-            }
+            ExprKind::Builtin {
+                kind,
+                ty_args,
+                args,
+            } => self.builtin(expr, *kind, ty_args, args),
             ExprKind::StructLit { name, fields } => {
                 let decl = self
                     .info
@@ -776,10 +774,7 @@ impl<'p> Checker<'p> {
                         }
                         Ok(ty.clone())
                     }
-                    other => Err(Diagnostic::new(
-                        format!("cannot make {other}"),
-                        span,
-                    )),
+                    other => Err(Diagnostic::new(format!("cannot make {other}"), span)),
                 }
             }
             Builtin::New => {
@@ -923,7 +918,9 @@ mod tests {
 
     #[test]
     fn rejects_multi_value_in_single_context() {
-        assert!(check("func g() (int, int) { return 1, 2 }\nfunc f() { x := g()\n x = x }\n").is_err());
+        assert!(
+            check("func g() (int, int) { return 1, 2 }\nfunc f() { x := g()\n x = x }\n").is_err()
+        );
     }
 
     #[test]
@@ -971,7 +968,9 @@ mod tests {
 
     #[test]
     fn slice_and_map_indexing() {
-        assert!(check("func f(s []int, m map[string]int) int { return s[0] + m[\"k\"] }\n").is_ok());
+        assert!(
+            check("func f(s []int, m map[string]int) int { return s[0] + m[\"k\"] }\n").is_ok()
+        );
         assert!(check("func f(s []int) int { return s[\"k\"] }\n").is_err());
         assert!(check("func f(m map[string]int) int { return m[1] }\n").is_err());
     }
@@ -1024,7 +1023,10 @@ mod tests {
 
     #[test]
     fn assign_through_pointer_and_index() {
-        assert!(check("func f(p *int, s []int, m map[string]int) { *p = 1\n s[0] = 2\n m[\"k\"] = 3 }\n").is_ok());
+        assert!(check(
+            "func f(p *int, s []int, m map[string]int) { *p = 1\n s[0] = 2\n m[\"k\"] = 3 }\n"
+        )
+        .is_ok());
         assert!(check("func f() { 1 = 2 }\n").is_err());
     }
 
@@ -1059,9 +1061,8 @@ mod tests {
 
     #[test]
     fn records_call_result_types() {
-        let (p, _, t) = check_ok(
-            "func g() (int, int) { return 1, 2 }\nfunc f() { a, b := g()\n a = b }\n",
-        );
+        let (p, _, t) =
+            check_ok("func g() (int, int) { return 1, 2 }\nfunc f() { a, b := g()\n a = b }\n");
         if let StmtKind::ShortDecl { init, .. } = &p.funcs[1].body.stmts[0].kind {
             assert_eq!(
                 t.call_result_types(init[0].id),

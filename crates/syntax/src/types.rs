@@ -108,7 +108,10 @@ mod tests {
     fn display_round_trips_shapes() {
         assert_eq!(Type::slice(Type::Int).to_string(), "[]int");
         assert_eq!(Type::ptr(Type::slice(Type::Int)).to_string(), "*[]int");
-        assert_eq!(Type::map(Type::Str, Type::Int).to_string(), "map[string]int");
+        assert_eq!(
+            Type::map(Type::Str, Type::Int).to_string(),
+            "map[string]int"
+        );
     }
 
     #[test]

@@ -1,0 +1,998 @@
+//! The bytecode engine: a loop-dispatch VM over the slot-indexed IR.
+//!
+//! Executes one instruction stream per function against the same
+//! simulated runtime as the tree-walking interpreter, with identical
+//! observable behaviour: the sequence of allocations, frees, safepoints,
+//! and GC cycles — and the total clock charge per statement — match the
+//! tree-walk exactly, so outputs, free counts, and heap/GC metrics are
+//! bit-identical across engines (enforced by the differential tests).
+//!
+//! Frames hold a dense `Vec` of slots instead of a `HashMap<VarId, _>`;
+//! each call's operand stack is a plain local `Vec`. Operand-stack
+//! temporaries are deliberately *not* GC roots, mirroring the tree-walk,
+//! which marks only frame slots and deferred-call arguments.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime};
+use minigo_syntax::Builtin;
+
+use super::ir::{BFunc, Instr, Module};
+use crate::error::ExecError;
+use crate::interp::{binop_rt, check_poison, mark_value, value_eq};
+use crate::interp::{Result, RunOutcome, SiteProfile, VmConfig};
+use crate::value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};
+
+/// Runs a lowered module's `main`.
+///
+/// # Errors
+///
+/// Returns the same [`ExecError`]s as the tree-walking interpreter:
+/// panics, nil dereferences, bounds errors, poisoned reads, and
+/// resource-limit violations.
+pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
+    if module.main == usize::MAX {
+        return Err(ExecError::NoMain);
+    }
+    let mut vm = BVm::new(cfg);
+    vm.run_function(module, module.main, Vec::new())?;
+    vm.rt.finalize();
+    let mut site_profile: Vec<SiteProfile> = vm
+        .site_profile
+        .iter()
+        .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
+        .collect();
+    site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+    Ok(RunOutcome {
+        output: std::mem::take(&mut vm.output),
+        time: vm.rt.now(),
+        metrics: vm.rt.metrics().clone(),
+        steps: vm.steps,
+        site_profile,
+    })
+}
+
+/// A frame slot. `Empty` marks a not-yet-declared local; reading one is
+/// the engine's analogue of the tree-walk's "variable not found".
+#[derive(Clone)]
+enum BSlot {
+    Empty,
+    Plain(Value),
+    Boxed(Rc<RefCell<Value>>, Option<ObjId>),
+}
+
+enum BDeferKind {
+    Func(usize),
+    Builtin(Builtin),
+}
+
+struct BDeferred {
+    kind: BDeferKind,
+    args: Vec<Value>,
+}
+
+struct BFrame {
+    slots: Vec<BSlot>,
+    defers: Vec<BDeferred>,
+}
+
+struct BVm {
+    cfg: VmConfig,
+    rt: Runtime,
+    objects: HashMap<ObjId, ObjAddr>,
+    addr_map: HashMap<ObjAddr, ObjId>,
+    next_obj: u64,
+    frames: Vec<BFrame>,
+    site_profile: HashMap<minigo_syntax::ExprId, (u64, u64)>,
+    output: String,
+    steps: u64,
+}
+
+fn bslot(value: Value, boxed: bool) -> BSlot {
+    if boxed {
+        BSlot::Boxed(Rc::new(RefCell::new(value)), None)
+    } else {
+        BSlot::Plain(value)
+    }
+}
+
+fn expected_bool(v: &Value) -> ExecError {
+    ExecError::Internal(format!("expected bool, got {}", v.display()))
+}
+
+fn expected_int(v: &Value) -> ExecError {
+    ExecError::Internal(format!("expected int, got {}", v.display()))
+}
+
+impl BVm {
+    fn new(cfg: VmConfig) -> Self {
+        let rt = Runtime::new(cfg.runtime.clone());
+        BVm {
+            cfg,
+            rt,
+            objects: HashMap::new(),
+            addr_map: HashMap::new(),
+            next_obj: 0,
+            frames: Vec::new(),
+            site_profile: HashMap::new(),
+            output: String::new(),
+            steps: 0,
+        }
+    }
+
+    // ---- object accounting (mirrors the tree-walk's) ----
+
+    fn new_obj(&mut self, size: u64, cat: Category) -> ObjId {
+        self.new_obj_at(size, cat, None)
+    }
+
+    fn new_obj_at(
+        &mut self,
+        size: u64,
+        cat: Category,
+        site: Option<minigo_syntax::ExprId>,
+    ) -> ObjId {
+        if let Some(site) = site {
+            let entry = self.site_profile.entry(site).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += size;
+        }
+        let addr = self.rt.alloc(size, cat);
+        if let Some(old) = self.addr_map.insert(addr, ObjId(self.next_obj)) {
+            self.objects.remove(&old);
+        }
+        let id = ObjId(self.next_obj);
+        self.next_obj += 1;
+        self.objects.insert(id, addr);
+        id
+    }
+
+    fn free_obj(&mut self, obj: ObjId, source: FreeSource, batched: bool) -> (FreeOutcome, bool) {
+        let Some(&addr) = self.objects.get(&obj) else {
+            return (
+                FreeOutcome::Bailed(minigo_runtime::BailReason::AlreadyFree),
+                false,
+            );
+        };
+        let out = if batched {
+            self.rt.tcfree_continue(addr, source)
+        } else {
+            self.rt.tcfree(addr, source)
+        };
+        match out {
+            FreeOutcome::Freed { .. } => {
+                self.objects.remove(&obj);
+                self.addr_map.remove(&addr);
+                (out, false)
+            }
+            FreeOutcome::Poisoned => (out, true),
+            FreeOutcome::Bailed(_) => (out, false),
+        }
+    }
+
+    // ---- GC ----
+
+    fn safepoint(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.cfg.step_limit {
+            return Err(ExecError::StepLimit);
+        }
+        self.rt.tick(1);
+        if self.rt.gc_pending() {
+            self.collect_garbage();
+        }
+        Ok(())
+    }
+
+    fn collect_garbage(&mut self) {
+        let mut marked: HashSet<ObjAddr> = HashSet::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        for frame in &self.frames {
+            for slot in &frame.slots {
+                match slot {
+                    BSlot::Empty => {}
+                    BSlot::Plain(v) => {
+                        mark_value(v, &self.objects, &mut marked, &mut seen);
+                    }
+                    BSlot::Boxed(cell, obj) => {
+                        if let Some(obj) = obj {
+                            if let Some(&addr) = self.objects.get(obj) {
+                                marked.insert(addr);
+                            }
+                        }
+                        if seen.insert(Rc::as_ptr(cell) as usize) {
+                            mark_value(&cell.borrow(), &self.objects, &mut marked, &mut seen);
+                        }
+                    }
+                }
+            }
+            for d in &frame.defers {
+                for v in &d.args {
+                    mark_value(v, &self.objects, &mut marked, &mut seen);
+                }
+            }
+        }
+        let swept = self.rt.collect(&marked);
+        for (addr, _, _) in &swept.freed {
+            if let Some(obj) = self.addr_map.remove(addr) {
+                self.objects.remove(&obj);
+            }
+        }
+    }
+
+    // ---- calls ----
+
+    fn run_function(&mut self, m: &Module, fid: usize, args: Vec<Value>) -> Result<Vec<Value>> {
+        if self.frames.len() >= self.cfg.max_frames {
+            return Err(ExecError::StackOverflow);
+        }
+        let f = &m.funcs[fid];
+        let mut slots = vec![BSlot::Empty; f.nslots as usize];
+        for (&(slot, boxed), arg) in f.params.iter().zip(args) {
+            slots[slot as usize] = bslot(arg, boxed);
+        }
+        for &(slot, boxed, zero) in &f.results {
+            let zero = zero.ok_or_else(|| ExecError::Internal("untyped result".into()))?;
+            slots[slot as usize] = bslot(m.consts[zero as usize].clone(), boxed);
+        }
+        self.frames.push(BFrame {
+            slots,
+            defers: Vec::new(),
+        });
+
+        let body = self.exec(m, f);
+        let defer_result = self.run_defers(m);
+        let flow = match (body, defer_result) {
+            (Err(e), _) => Err(e),
+            (_, Err(e)) => Err(e),
+            (Ok(()), Ok(())) => Ok(()),
+        };
+        match flow {
+            Err(e) => {
+                self.frames.pop();
+                Err(e)
+            }
+            Ok(()) => {
+                let mut results = Vec::new();
+                for &(slot, _, _) in &f.results {
+                    let frame = self.frames.last().expect("in a frame");
+                    let v = match &frame.slots[slot as usize] {
+                        BSlot::Plain(v) => v.clone(),
+                        BSlot::Boxed(cell, _) => cell.borrow().clone(),
+                        BSlot::Empty => {
+                            return Err(ExecError::Internal(format!(
+                                "variable {} not found in any frame",
+                                f.slot_names[slot as usize]
+                            )))
+                        }
+                    };
+                    results.push(check_poison(v)?);
+                }
+                self.frames.pop();
+                Ok(results)
+            }
+        }
+    }
+
+    fn run_defers(&mut self, m: &Module) -> Result<()> {
+        loop {
+            let Some(d) = self.frames.last_mut().and_then(|f| f.defers.pop()) else {
+                return Ok(());
+            };
+            match d.kind {
+                BDeferKind::Func(fid) => {
+                    self.run_function(m, fid, d.args)?;
+                }
+                BDeferKind::Builtin(Builtin::Print) => {
+                    self.do_print(&d.args);
+                }
+                BDeferKind::Builtin(_) => {}
+            }
+        }
+    }
+
+    // ---- the dispatch loop ----
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, m: &Module, f: &BFunc) -> Result<()> {
+        let code = &f.code;
+        let mut stack: Vec<Value> = Vec::new();
+        let mut pc = 0usize;
+        loop {
+            let instr = &code[pc];
+            pc += 1;
+            match instr {
+                Instr::Safepoint => self.safepoint()?,
+                Instr::Tick(n) => self.rt.tick(u64::from(*n)),
+                Instr::Jump(t) => pc = *t,
+                Instr::JumpIfFalse(t) => match pop(&mut stack) {
+                    Value::Bool(b) => {
+                        if !b {
+                            pc = *t;
+                        }
+                    }
+                    other => return Err(expected_bool(&other)),
+                },
+                Instr::AndJump(t) => match pop(&mut stack) {
+                    Value::Bool(b) => {
+                        if !b {
+                            stack.push(Value::Bool(false));
+                            pc = *t;
+                        }
+                    }
+                    other => return Err(expected_bool(&other)),
+                },
+                Instr::OrJump(t) => match pop(&mut stack) {
+                    Value::Bool(b) => {
+                        if b {
+                            stack.push(Value::Bool(true));
+                            pc = *t;
+                        }
+                    }
+                    other => return Err(expected_bool(&other)),
+                },
+                Instr::AssertBool => {
+                    let v = stack.last().expect("operand stack underflow");
+                    if !matches!(v, Value::Bool(_)) {
+                        return Err(expected_bool(v));
+                    }
+                }
+                Instr::CaseJump(t) => {
+                    let cv = pop(&mut stack);
+                    let sv = stack.last().expect("operand stack underflow");
+                    if value_eq(sv, &cv)? {
+                        stack.pop();
+                        pc = *t;
+                    }
+                }
+                Instr::Ret => return Ok(()),
+                Instr::Call {
+                    fid,
+                    nargs,
+                    want,
+                    value_pos,
+                } => {
+                    let argv = stack.split_off(stack.len() - *nargs as usize);
+                    if *value_pos {
+                        self.rt.tick(1);
+                    }
+                    self.rt.tick(2);
+                    let out = self.run_function(m, *fid, argv)?;
+                    if *want != u32::MAX {
+                        if out.len() != *want as usize {
+                            return Err(ExecError::Internal("result arity mismatch".into()));
+                        }
+                        stack.extend(out);
+                    }
+                }
+                Instr::DeferFunc { fid, nargs } => {
+                    let args = stack.split_off(stack.len() - *nargs as usize);
+                    self.frames
+                        .last_mut()
+                        .expect("in a frame")
+                        .defers
+                        .push(BDeferred {
+                            kind: BDeferKind::Func(*fid),
+                            args,
+                        });
+                }
+                Instr::DeferBuiltin { builtin, nargs } => {
+                    let args = stack.split_off(stack.len() - *nargs as usize);
+                    self.frames
+                        .last_mut()
+                        .expect("in a frame")
+                        .defers
+                        .push(BDeferred {
+                            kind: BDeferKind::Builtin(*builtin),
+                            args,
+                        });
+                }
+                Instr::Const(c) => {
+                    self.rt.tick(1);
+                    stack.push(m.consts[*c as usize].clone());
+                }
+                Instr::ConstRaw(c) => stack.push(m.consts[*c as usize].clone()),
+                Instr::LoadSlot(s) => {
+                    self.rt.tick(1);
+                    let frame = self.frames.last().expect("in a frame");
+                    let v = match &frame.slots[*s as usize] {
+                        BSlot::Plain(v) => v.clone(),
+                        BSlot::Boxed(cell, _) => cell.borrow().clone(),
+                        BSlot::Empty => {
+                            return Err(ExecError::Internal(format!(
+                                "variable {} not found in any frame",
+                                f.slot_names[*s as usize]
+                            )))
+                        }
+                    };
+                    stack.push(check_poison(v)?);
+                }
+                Instr::StoreSlot(s) => {
+                    let v = pop(&mut stack);
+                    let frame = self.frames.last_mut().expect("in a frame");
+                    match &mut frame.slots[*s as usize] {
+                        BSlot::Plain(p) => *p = v,
+                        BSlot::Boxed(cell, _) => *cell.borrow_mut() = v,
+                        BSlot::Empty => {
+                            return Err(ExecError::Internal("write to undeclared variable".into()))
+                        }
+                    }
+                }
+                Instr::Declare {
+                    slot,
+                    boxed,
+                    heap,
+                    size,
+                } => {
+                    let v = pop(&mut stack);
+                    let new_slot = if *boxed {
+                        let obj = if *heap {
+                            Some(self.new_obj(*size, Category::Other))
+                        } else {
+                            self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                            None
+                        };
+                        BSlot::Boxed(Rc::new(RefCell::new(v)), obj)
+                    } else {
+                        BSlot::Plain(v)
+                    };
+                    let frame = self.frames.last_mut().expect("in a frame");
+                    frame.slots[*slot as usize] = new_slot;
+                }
+                Instr::Pop(n) => {
+                    stack.truncate(stack.len() - *n as usize);
+                }
+                Instr::ReverseN(n) => {
+                    let at = stack.len() - *n as usize;
+                    stack[at..].reverse();
+                }
+                Instr::Neg => match pop(&mut stack) {
+                    Value::Int(v) => {
+                        self.rt.tick(1);
+                        stack.push(Value::Int(v.wrapping_neg()));
+                    }
+                    other => return Err(expected_int(&other)),
+                },
+                Instr::Not => match pop(&mut stack) {
+                    Value::Bool(b) => {
+                        self.rt.tick(1);
+                        stack.push(Value::Bool(!b));
+                    }
+                    other => return Err(expected_bool(&other)),
+                },
+                Instr::Bin(op) => {
+                    let r = pop(&mut stack);
+                    let l = pop(&mut stack);
+                    self.rt.tick(1);
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::BinRaw(op) => {
+                    let r = pop(&mut stack);
+                    let l = pop(&mut stack);
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::AddrOfSlot(s) => {
+                    self.rt.tick(1);
+                    let frame = self.frames.last().expect("in a frame");
+                    match &frame.slots[*s as usize] {
+                        BSlot::Boxed(cell, obj) => stack.push(Value::Ptr(PtrVal {
+                            cell: cell.clone(),
+                            obj: *obj,
+                        })),
+                        BSlot::Plain(_) => {
+                            return Err(ExecError::Internal(format!(
+                                "address taken of unboxed variable {}",
+                                f.slot_names[*s as usize]
+                            )))
+                        }
+                        BSlot::Empty => {
+                            return Err(ExecError::Internal("variable not found".into()))
+                        }
+                    }
+                }
+                Instr::AllocBox { heap, size, site } => {
+                    self.rt.tick(1);
+                    let v = pop(&mut stack);
+                    let obj = if *heap {
+                        Some(self.new_obj_at(*size, Category::Other, Some(*site)))
+                    } else {
+                        self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                        None
+                    };
+                    stack.push(Value::Ptr(PtrVal {
+                        cell: Rc::new(RefCell::new(v)),
+                        obj,
+                    }));
+                }
+                Instr::Deref => {
+                    self.rt.tick(1);
+                    match pop(&mut stack) {
+                        Value::Ptr(p) => {
+                            let v = check_poison(p.cell.borrow().clone())?;
+                            stack.push(v);
+                        }
+                        Value::Nil => return Err(ExecError::NilDeref),
+                        _ => return Err(ExecError::Internal("deref of non-pointer".into())),
+                    }
+                }
+                Instr::DerefSet => match pop(&mut stack) {
+                    Value::Ptr(p) => {
+                        let v = pop(&mut stack);
+                        *p.cell.borrow_mut() = v;
+                    }
+                    Value::Nil => return Err(ExecError::NilDeref),
+                    _ => return Err(ExecError::Internal("store through non-pointer".into())),
+                },
+                Instr::GetField { idx, through_ptr } => {
+                    self.rt.tick(1);
+                    let fields = match (pop(&mut stack), through_ptr) {
+                        (Value::Struct(fields), false) => fields,
+                        (Value::Ptr(p), true) => {
+                            let inner = p.cell.borrow().clone();
+                            match inner {
+                                Value::Struct(fields) => fields,
+                                Value::Poison => return Err(ExecError::PoisonedRead),
+                                _ => return Err(ExecError::Internal("field of non-struct".into())),
+                            }
+                        }
+                        (Value::Nil, _) => return Err(ExecError::NilDeref),
+                        (Value::Poison, _) => return Err(ExecError::PoisonedRead),
+                        _ => return Err(ExecError::Internal("field of non-struct".into())),
+                    };
+                    stack.push(check_poison(fields[*idx as usize].clone())?);
+                }
+                Instr::StructSetField { idx } => match pop(&mut stack) {
+                    Value::Struct(mut fields) => {
+                        let v = pop(&mut stack);
+                        fields[*idx as usize] = v;
+                        stack.push(Value::Struct(fields));
+                    }
+                    Value::Nil => return Err(ExecError::NilDeref),
+                    Value::Poison => return Err(ExecError::PoisonedRead),
+                    _ => return Err(ExecError::Internal("field store on non-struct".into())),
+                },
+                Instr::FieldSetPtr { idx } => match pop(&mut stack) {
+                    Value::Ptr(p) => {
+                        let v = pop(&mut stack);
+                        let mut target = p.cell.borrow_mut();
+                        match &mut *target {
+                            Value::Struct(fields) => fields[*idx as usize] = v,
+                            Value::Poison => return Err(ExecError::PoisonedRead),
+                            _ => {
+                                return Err(ExecError::Internal("field store on non-struct".into()))
+                            }
+                        }
+                    }
+                    Value::Nil => return Err(ExecError::NilDeref),
+                    Value::Poison => return Err(ExecError::PoisonedRead),
+                    _ => return Err(ExecError::Internal("field store on non-struct".into())),
+                },
+                Instr::CheckIndexBase => match stack.last().expect("operand stack underflow") {
+                    Value::Slice(_) | Value::Map(_) => {}
+                    Value::Nil => return Err(ExecError::NilDeref),
+                    _ => return Err(ExecError::Internal("index of non-indexable".into())),
+                },
+                Instr::IndexGet => {
+                    self.rt.tick(1);
+                    let idx = pop(&mut stack);
+                    match pop(&mut stack) {
+                        Value::Slice(s) => {
+                            let Value::Int(i) = idx else {
+                                return Err(expected_int(&idx));
+                            };
+                            if i < 0 || i as usize >= s.len {
+                                return Err(ExecError::OutOfBounds {
+                                    index: i,
+                                    len: s.len,
+                                });
+                            }
+                            let v = s.cells.borrow()[s.offset + i as usize].clone();
+                            stack.push(check_poison(v)?);
+                        }
+                        Value::Map(map) => {
+                            let key = idx
+                                .as_key()
+                                .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
+                            self.rt.tick(2);
+                            let data = map.data.borrow();
+                            if data.poisoned {
+                                return Err(ExecError::PoisonedRead);
+                            }
+                            let v = match data.get(&key) {
+                                Some(v) => check_poison(v.clone())?,
+                                None => data.default.clone(),
+                            };
+                            drop(data);
+                            stack.push(v);
+                        }
+                        Value::Nil => return Err(ExecError::NilDeref),
+                        _ => return Err(ExecError::Internal("index of non-indexable".into())),
+                    }
+                }
+                Instr::IndexSet => {
+                    let idx = pop(&mut stack);
+                    match pop(&mut stack) {
+                        Value::Slice(s) => {
+                            let v = pop(&mut stack);
+                            let Value::Int(i) = idx else {
+                                return Err(expected_int(&idx));
+                            };
+                            if i < 0 || i as usize >= s.len {
+                                return Err(ExecError::OutOfBounds {
+                                    index: i,
+                                    len: s.len,
+                                });
+                            }
+                            s.cells.borrow_mut()[s.offset + i as usize] = v;
+                        }
+                        Value::Map(map) => {
+                            let v = pop(&mut stack);
+                            let key = idx
+                                .as_key()
+                                .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
+                            self.map_insert(&map, key, v)?;
+                        }
+                        Value::Nil => return Err(ExecError::NilDeref),
+                        _ => return Err(ExecError::Internal("store into non-indexable".into())),
+                    }
+                }
+                Instr::ReSlice { has_hi } => {
+                    self.rt.tick(1);
+                    let hi_v = if *has_hi { Some(pop(&mut stack)) } else { None };
+                    let lo_v = pop(&mut stack);
+                    let base = pop(&mut stack);
+                    let Value::Int(lo) = lo_v else {
+                        return Err(expected_int(&lo_v));
+                    };
+                    let hi = match &hi_v {
+                        Some(Value::Int(h)) => Some(*h),
+                        Some(other) => return Err(expected_int(other)),
+                        None => None,
+                    };
+                    match base {
+                        Value::Slice(s) => {
+                            let hi = hi.unwrap_or(s.len as i64);
+                            if lo < 0 || hi < lo || hi as usize > s.cap() {
+                                return Err(ExecError::OutOfBounds {
+                                    index: hi,
+                                    len: s.cap(),
+                                });
+                            }
+                            stack.push(Value::Slice(SliceVal {
+                                cells: s.cells.clone(),
+                                obj: s.obj,
+                                offset: s.offset + lo as usize,
+                                len: (hi - lo) as usize,
+                                elem_size: s.elem_size,
+                            }));
+                        }
+                        Value::Nil => {
+                            let hi = hi.unwrap_or(0);
+                            if lo == 0 && hi == 0 {
+                                stack.push(Value::Nil);
+                            } else {
+                                return Err(ExecError::NilDeref);
+                            }
+                        }
+                        _ => return Err(ExecError::Internal("reslice of non-slice".into())),
+                    }
+                }
+                Instr::MakeSlice {
+                    elem_size,
+                    has_cap,
+                    heap,
+                    site,
+                    zero,
+                } => {
+                    self.rt.tick(1);
+                    let cap_v = if *has_cap {
+                        Some(pop(&mut stack))
+                    } else {
+                        None
+                    };
+                    let len_v = pop(&mut stack);
+                    let Value::Int(len_raw) = len_v else {
+                        return Err(expected_int(&len_v));
+                    };
+                    let len = len_raw.max(0) as usize;
+                    let cap = match cap_v {
+                        Some(Value::Int(c)) => (c.max(0) as usize).max(len),
+                        Some(other) => return Err(expected_int(&other)),
+                        None => len,
+                    };
+                    let cap = cap.max(1);
+                    let obj = if *heap {
+                        Some(self.new_obj_at(
+                            (cap as u64 * elem_size).max(8),
+                            Category::Slice,
+                            Some(*site),
+                        ))
+                    } else {
+                        self.rt.metrics_mut().record_stack_alloc(Category::Slice);
+                        None
+                    };
+                    let zero = m.consts[*zero as usize].clone();
+                    stack.push(Value::Slice(SliceVal {
+                        cells: Rc::new(RefCell::new(vec![zero; cap])),
+                        obj,
+                        offset: 0,
+                        len,
+                        elem_size: *elem_size,
+                    }));
+                }
+                Instr::MakeMap {
+                    entry_size,
+                    heap,
+                    site,
+                    default,
+                } => {
+                    self.rt.tick(1);
+                    let obj = if *heap {
+                        Some(self.new_obj_at(
+                            minigo_escape::MAP_BASE_BYTES,
+                            Category::Map,
+                            Some(*site),
+                        ))
+                    } else {
+                        self.rt.metrics_mut().record_stack_alloc(Category::Map);
+                        None
+                    };
+                    stack.push(Value::Map(MapVal {
+                        data: Rc::new(RefCell::new(MapData {
+                            entries: Vec::new(),
+                            index: HashMap::new(),
+                            buckets_obj: None,
+                            bucket_cap: 8,
+                            default: m.consts[*default as usize].clone(),
+                            entry_size: *entry_size,
+                            origin: Some(*site),
+                            poisoned: false,
+                        })),
+                        obj,
+                    }));
+                }
+                Instr::NewPtr {
+                    size,
+                    heap,
+                    site,
+                    zero,
+                } => {
+                    self.rt.tick(1);
+                    let obj = if *heap {
+                        Some(self.new_obj_at(*size, Category::Other, Some(*site)))
+                    } else {
+                        self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                        None
+                    };
+                    stack.push(Value::Ptr(PtrVal {
+                        cell: Rc::new(RefCell::new(m.consts[*zero as usize].clone())),
+                        obj,
+                    }));
+                }
+                Instr::Append { elem_size, site } => {
+                    self.rt.tick(1);
+                    let item = pop(&mut stack);
+                    let sv = pop(&mut stack);
+                    let out = self.append(sv, item, *elem_size, *site)?;
+                    stack.push(out);
+                }
+                Instr::MakeStruct(n) => {
+                    self.rt.tick(1);
+                    let fields = stack.split_off(stack.len() - *n as usize);
+                    stack.push(Value::Struct(fields));
+                }
+                Instr::Len => {
+                    self.rt.tick(1);
+                    let v = match pop(&mut stack) {
+                        Value::Slice(s) => s.len as i64,
+                        Value::Map(map) => map.data.borrow().len() as i64,
+                        Value::Str(s) => s.len() as i64,
+                        Value::Nil => 0,
+                        _ => return Err(ExecError::Internal("len of bad value".into())),
+                    };
+                    stack.push(Value::Int(v));
+                }
+                Instr::Cap => {
+                    self.rt.tick(1);
+                    let v = match pop(&mut stack) {
+                        Value::Slice(s) => s.cap() as i64,
+                        Value::Nil => 0,
+                        _ => return Err(ExecError::Internal("cap of bad value".into())),
+                    };
+                    stack.push(Value::Int(v));
+                }
+                Instr::MapDelete => {
+                    self.rt.tick(1);
+                    let kv = pop(&mut stack);
+                    if let Value::Map(map) = pop(&mut stack) {
+                        let key = kv
+                            .as_key()
+                            .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
+                        self.rt.tick(2);
+                        map.data.borrow_mut().remove(&key);
+                    }
+                    stack.push(Value::Int(0));
+                }
+                Instr::Panic => {
+                    self.rt.tick(1);
+                    let v = pop(&mut stack);
+                    return Err(ExecError::Panic(v.display()));
+                }
+                Instr::Print(n) => {
+                    self.rt.tick(1);
+                    let args = stack.split_off(stack.len() - *n as usize);
+                    self.do_print(&args);
+                    stack.push(Value::Int(0));
+                }
+                Instr::Itoa => {
+                    self.rt.tick(1);
+                    match pop(&mut stack) {
+                        Value::Int(v) => {
+                            stack.push(Value::Str(Rc::from(v.to_string().as_str())));
+                        }
+                        other => return Err(expected_int(&other)),
+                    }
+                }
+                Instr::Tcfree { follows_free } => {
+                    let v = pop(&mut stack);
+                    let batched = self.cfg.batch_frees && *follows_free;
+                    self.exec_tcfree(v, batched)?;
+                }
+                Instr::TrapUnsupported(msg) => {
+                    return Err(ExecError::Unsupported(msg.to_string()));
+                }
+                Instr::TrapInternal(msg) => {
+                    return Err(ExecError::Internal(msg.to_string()));
+                }
+            }
+        }
+    }
+
+    // ---- runtime-value helpers (mirror the tree-walk's) ----
+
+    fn exec_tcfree(&mut self, v: Value, batched: bool) -> Result<()> {
+        match v {
+            Value::Slice(s) => {
+                if let Some(obj) = s.obj {
+                    let (_, poison) = self.free_obj(obj, FreeSource::SliceLifetime, batched);
+                    if poison {
+                        let mut cells = s.cells.borrow_mut();
+                        for c in cells.iter_mut() {
+                            *c = Value::Poison;
+                        }
+                    }
+                }
+            }
+            Value::Map(map) => {
+                let buckets = map.data.borrow().buckets_obj;
+                let mut poisoned = false;
+                if let Some(b) = buckets {
+                    let (out, poison) = self.free_obj(b, FreeSource::MapLifetime, batched);
+                    poisoned |= poison;
+                    if matches!(out, FreeOutcome::Freed { .. }) {
+                        map.data.borrow_mut().buckets_obj = None;
+                    }
+                }
+                if let Some(h) = map.obj {
+                    let (_, poison) = self.free_obj(h, FreeSource::MapLifetime, batched);
+                    poisoned |= poison;
+                }
+                if poisoned {
+                    let mut data = map.data.borrow_mut();
+                    data.poisoned = true;
+                    for (_, v) in data.entries.iter_mut() {
+                        *v = Value::Poison;
+                    }
+                }
+            }
+            Value::Ptr(p) => {
+                if let Some(obj) = p.obj {
+                    let (_, poison) = self.free_obj(obj, FreeSource::Object, batched);
+                    if poison {
+                        *p.cell.borrow_mut() = Value::Poison;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn append(
+        &mut self,
+        sv: Value,
+        item: Value,
+        elem_size: u64,
+        site: minigo_syntax::ExprId,
+    ) -> Result<Value> {
+        self.rt.tick(2);
+        match sv {
+            Value::Nil => {
+                let cap = 8;
+                let obj = self.new_obj_at(cap as u64 * elem_size, Category::Slice, Some(site));
+                let mut cells = vec![item];
+                cells.resize(cap, Value::Int(0));
+                Ok(Value::Slice(SliceVal {
+                    cells: Rc::new(RefCell::new(cells)),
+                    obj: Some(obj),
+                    offset: 0,
+                    len: 1,
+                    elem_size,
+                }))
+            }
+            Value::Slice(mut s) => {
+                if s.len < s.cap() {
+                    let at = s.offset + s.len;
+                    s.cells.borrow_mut()[at] = item;
+                    s.len += 1;
+                    Ok(Value::Slice(s))
+                } else {
+                    let new_cap = (s.cap() * 2).max(8);
+                    let obj =
+                        self.new_obj_at(new_cap as u64 * elem_size, Category::Slice, Some(site));
+                    let mut cells: Vec<Value> =
+                        s.cells.borrow()[s.offset..s.offset + s.len].to_vec();
+                    cells.push(item);
+                    cells.resize(new_cap, Value::Int(0));
+                    Ok(Value::Slice(SliceVal {
+                        cells: Rc::new(RefCell::new(cells)),
+                        obj: Some(obj),
+                        offset: 0,
+                        len: s.len + 1,
+                        elem_size,
+                    }))
+                }
+            }
+            _ => Err(ExecError::Internal("append to non-slice".into())),
+        }
+    }
+
+    fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
+        self.rt.tick(3);
+        let (is_new, needs_growth) = {
+            let data = m.data.borrow();
+            if data.poisoned {
+                return Err(ExecError::PoisonedRead);
+            }
+            let is_new = data.get(&key).is_none();
+            (is_new, is_new && data.len() + 1 > data.bucket_cap)
+        };
+        if needs_growth {
+            let (old, new_cap, entry_size, origin) = {
+                let mut data = m.data.borrow_mut();
+                let new_cap = data.bucket_cap * 2;
+                data.bucket_cap = new_cap;
+                (
+                    data.buckets_obj.take(),
+                    new_cap,
+                    data.entry_size,
+                    data.origin,
+                )
+            };
+            let new_obj = self.new_obj_at(new_cap as u64 * entry_size, Category::Map, origin);
+            m.data.borrow_mut().buckets_obj = Some(new_obj);
+            if let Some(old) = old {
+                if self.cfg.grow_map_free_old {
+                    let (_, _poison) = self.free_obj(old, FreeSource::MapGrowOld, false);
+                } else {
+                    let _ = old;
+                }
+            }
+        }
+        let _ = is_new;
+        m.data.borrow_mut().insert(key, value);
+        Ok(())
+    }
+
+    fn do_print(&mut self, values: &[Value]) {
+        let line: Vec<String> = values.iter().map(Value::display).collect();
+        self.output.push_str(&line.join(" "));
+        self.output.push('\n');
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Value {
+    stack.pop().expect("operand stack underflow")
+}

@@ -13,8 +13,8 @@ use std::rc::Rc;
 use minigo_escape::{AllocPlace, Analysis, Mode};
 use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime, RuntimeConfig};
 use minigo_syntax::{
-    BinOp, Block, Builtin, Expr, ExprKind, Func, FuncId, Program, Resolution, Stmt, StmtKind,
-    Type, TypeInfo, UnOp, VarId,
+    BinOp, Block, Builtin, Expr, ExprKind, Func, FuncId, Program, Resolution, Stmt, StmtKind, Type,
+    TypeInfo, UnOp, VarId,
 };
 
 use crate::error::ExecError;
@@ -327,18 +327,17 @@ impl<'p> Vm<'p> {
         }
         let func = &self.program.funcs[fid.index()];
         let mut slots = HashMap::new();
-        let taken = self.addr_taken[&fid].clone();
+        let taken = &self.addr_taken[&fid];
         for (&pvar, arg) in self.res.params_of(fid).iter().zip(args) {
-            slots.insert(pvar, self.make_slot(pvar, arg, taken.contains(&pvar)));
+            slots.insert(pvar, make_slot(arg, taken.contains(&pvar)));
         }
         for &rvar in self.res.results_of(fid) {
             let ty = self
                 .types
                 .var(rvar)
-                .cloned()
                 .ok_or_else(|| ExecError::Internal("untyped result".into()))?;
-            let zero = self.zero_value(&ty);
-            slots.insert(rvar, self.make_slot(rvar, zero, taken.contains(&rvar)));
+            let zero = self.zero_value(ty);
+            slots.insert(rvar, make_slot(zero, taken.contains(&rvar)));
         }
         self.frames.push(Frame {
             func: fid,
@@ -374,11 +373,7 @@ impl<'p> Vm<'p> {
 
     fn run_defers(&mut self) -> Result<()> {
         loop {
-            let Some(d) = self
-                .frames
-                .last_mut()
-                .and_then(|f| f.defers.pop())
-            else {
+            let Some(d) = self.frames.last_mut().and_then(|f| f.defers.pop()) else {
                 return Ok(());
             };
             match d.kind {
@@ -390,14 +385,6 @@ impl<'p> Vm<'p> {
                 }
                 DeferKind::Builtin(_) => {}
             }
-        }
-    }
-
-    fn make_slot(&mut self, _var: VarId, value: Value, boxed: bool) -> Slot {
-        if boxed {
-            Slot::Boxed(Rc::new(RefCell::new(value)), None)
-        } else {
-            Slot::Plain(value)
         }
     }
 
@@ -811,7 +798,10 @@ impl<'p> Vm<'p> {
                     Value::Slice(s) => {
                         let i = self.eval_int(index)?;
                         if i < 0 || i as usize >= s.len {
-                            return Err(ExecError::OutOfBounds { index: i, len: s.len });
+                            return Err(ExecError::OutOfBounds {
+                                index: i,
+                                len: s.len,
+                            });
                         }
                         check_poison(s.cells.borrow()[s.offset + i as usize].clone())
                     }
@@ -879,7 +869,11 @@ impl<'p> Vm<'p> {
                 let mut out = self.eval_multi(e, 1)?;
                 Ok(out.pop().expect("arity checked"))
             }
-            ExprKind::Builtin { kind, ty_args, args } => self.builtin(e, *kind, ty_args, args),
+            ExprKind::Builtin {
+                kind,
+                ty_args,
+                args,
+            } => self.builtin(e, *kind, ty_args, args),
             ExprKind::StructLit { name, fields } => {
                 let mut values = Vec::with_capacity(fields.len());
                 for f in fields {
@@ -1085,11 +1079,7 @@ impl<'p> Vm<'p> {
     fn make_map(&mut self, site: &Expr, default: Value, entry_size: u64) -> Result<Value> {
         let place = self.place_of(site);
         let obj = if place == AllocPlace::Heap {
-            Some(self.new_obj_at(
-                minigo_escape::MAP_BASE_BYTES,
-                Category::Map,
-                Some(site.id),
-            ))
+            Some(self.new_obj_at(minigo_escape::MAP_BASE_BYTES, Category::Map, Some(site.id)))
         } else {
             self.rt.metrics_mut().record_stack_alloc(Category::Map);
             None
@@ -1209,49 +1199,7 @@ impl<'p> Vm<'p> {
     }
 
     fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value> {
-        use BinOp::*;
-        check_poison(l.clone())?;
-        check_poison(r.clone())?;
-        match (op, &l, &r) {
-            (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
-            (Add, Value::Str(a), Value::Str(b)) => {
-                let mut s = a.to_string();
-                s.push_str(b);
-                self.rt.tick(1 + (s.len() as u64) / 16);
-                Ok(Value::Str(Rc::from(s.as_str())))
-            }
-            (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
-            (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
-            (Div, Value::Int(a), Value::Int(b)) => {
-                if *b == 0 {
-                    Err(ExecError::DivByZero)
-                } else {
-                    Ok(Value::Int(a.wrapping_div(*b)))
-                }
-            }
-            (Rem, Value::Int(a), Value::Int(b)) => {
-                if *b == 0 {
-                    Err(ExecError::DivByZero)
-                } else {
-                    Ok(Value::Int(a.wrapping_rem(*b)))
-                }
-            }
-            (Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
-            (Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
-            (Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
-            (Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
-            (Lt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a < b)),
-            (Le, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a <= b)),
-            (Gt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a > b)),
-            (Ge, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a >= b)),
-            (Eq, _, _) => Ok(Value::Bool(value_eq(&l, &r)?)),
-            (Ne, _, _) => Ok(Value::Bool(!value_eq(&l, &r)?)),
-            _ => Err(ExecError::Internal(format!(
-                "bad operands for {op}: {} and {}",
-                l.display(),
-                r.display()
-            ))),
-        }
+        binop_rt(&mut self.rt, op, l, r)
     }
 
     // ---- lvalue stores ----
@@ -1311,7 +1259,10 @@ impl<'p> Vm<'p> {
                     Value::Slice(s) => {
                         let i = self.eval_int(index)?;
                         if i < 0 || i as usize >= s.len {
-                            return Err(ExecError::OutOfBounds { index: i, len: s.len });
+                            return Err(ExecError::OutOfBounds {
+                                index: i,
+                                len: s.len,
+                            });
                         }
                         s.cells.borrow_mut()[s.offset + i as usize] = value;
                         Ok(())
@@ -1392,7 +1343,64 @@ impl<'p> Vm<'p> {
     }
 }
 
-fn check_poison(v: Value) -> Result<Value> {
+fn make_slot(value: Value, boxed: bool) -> Slot {
+    if boxed {
+        Slot::Boxed(Rc::new(RefCell::new(value)), None)
+    } else {
+        Slot::Plain(value)
+    }
+}
+
+/// Applies a binary operator, charging string-concatenation ticks on the
+/// given runtime. Shared by both execution engines.
+pub(crate) fn binop_rt(rt: &mut Runtime, op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    if matches!(l, Value::Poison) || matches!(r, Value::Poison) {
+        return Err(ExecError::PoisonedRead);
+    }
+    match (op, &l, &r) {
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+        (Add, Value::Str(a), Value::Str(b)) => {
+            let mut s = a.to_string();
+            s.push_str(b);
+            rt.tick(1 + (s.len() as u64) / 16);
+            Ok(Value::Str(Rc::from(s.as_str())))
+        }
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        (Div, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(ExecError::DivByZero)
+            } else {
+                Ok(Value::Int(a.wrapping_div(*b)))
+            }
+        }
+        (Rem, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(ExecError::DivByZero)
+            } else {
+                Ok(Value::Int(a.wrapping_rem(*b)))
+            }
+        }
+        (Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
+        (Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
+        (Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
+        (Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
+        (Lt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a < b)),
+        (Le, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a <= b)),
+        (Gt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a > b)),
+        (Ge, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a >= b)),
+        (Eq, _, _) => Ok(Value::Bool(value_eq(&l, &r)?)),
+        (Ne, _, _) => Ok(Value::Bool(!value_eq(&l, &r)?)),
+        _ => Err(ExecError::Internal(format!(
+            "bad operands for {op}: {} and {}",
+            l.display(),
+            r.display()
+        ))),
+    }
+}
+
+pub(crate) fn check_poison(v: Value) -> Result<Value> {
     if matches!(v, Value::Poison) {
         Err(ExecError::PoisonedRead)
     } else {
@@ -1400,7 +1408,7 @@ fn check_poison(v: Value) -> Result<Value> {
     }
 }
 
-fn value_eq(a: &Value, b: &Value) -> Result<bool> {
+pub(crate) fn value_eq(a: &Value, b: &Value) -> Result<bool> {
     Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Bool(x), Value::Bool(y)) => x == y,
@@ -1422,14 +1430,16 @@ fn value_eq(a: &Value, b: &Value) -> Result<bool> {
             true
         }
         (Value::Slice(_), Value::Slice(_)) => {
-            return Err(ExecError::Internal("slices are only comparable to nil".into()));
+            return Err(ExecError::Internal(
+                "slices are only comparable to nil".into(),
+            ));
         }
         _ => false,
     })
 }
 
 /// Marks every heap object reachable from `v`.
-fn mark_value(
+pub(crate) fn mark_value(
     v: &Value,
     objects: &HashMap<ObjId, ObjAddr>,
     marked: &mut HashSet<ObjAddr>,
@@ -1485,7 +1495,7 @@ fn mark_value(
     }
 }
 
-fn collect_addr_taken_block(block: &Block, res: &Resolution, out: &mut HashSet<VarId>) {
+pub(crate) fn collect_addr_taken_block(block: &Block, res: &Resolution, out: &mut HashSet<VarId>) {
     for stmt in &block.stmts {
         collect_addr_taken_stmt(stmt, res, out);
     }
@@ -1580,10 +1590,13 @@ fn collect_addr_taken_expr(e: &Expr, res: &Resolution, out: &mut HashSet<VarId>)
             }
         }
         ExprKind::Call { args, .. } | ExprKind::Builtin { args, .. } => {
-            args.iter().for_each(|a| collect_addr_taken_expr(a, res, out));
+            args.iter()
+                .for_each(|a| collect_addr_taken_expr(a, res, out));
         }
         ExprKind::StructLit { fields, .. } => {
-            fields.iter().for_each(|f| collect_addr_taken_expr(f, res, out));
+            fields
+                .iter()
+                .for_each(|f| collect_addr_taken_expr(f, res, out));
         }
         _ => {}
     }
@@ -1646,9 +1659,8 @@ mod tests {
 
     #[test]
     fn slices_share_backing() {
-        let out = run_src(
-            "func main() { s := make([]int, 3)\n t := s\n t[1] = 42\n print(s[1]) }\n",
-        );
+        let out =
+            run_src("func main() { s := make([]int, 3)\n t := s\n t[1] = 42\n print(s[1]) }\n");
         assert_eq!(out.output, "42\n");
     }
 
@@ -1682,16 +1694,14 @@ mod tests {
             "func main() { m := make(map[int]int)\n for i := 0; i < 100; i += 1 { m[i] = i }\n print(m[77], len(m)) }\n",
         );
         assert_eq!(out.output, "77 100\n");
-        let grow_frees =
-            out.metrics.freed_objects_by_source[FreeSource::MapGrowOld.index()];
+        let grow_frees = out.metrics.freed_objects_by_source[FreeSource::MapGrowOld.index()];
         assert!(grow_frees >= 2, "expected grow-frees, got {grow_frees}");
     }
 
     #[test]
     fn pointers_read_write() {
-        let out = run_src(
-            "func main() { x := 1\n p := &x\n *p = 41\n y := *p + 1\n print(x, y) }\n",
-        );
+        let out =
+            run_src("func main() { x := 1\n p := &x\n *p = 41\n y := *p + 1\n print(x, y) }\n");
         assert_eq!(out.output, "41 42\n");
     }
 
@@ -1729,15 +1739,14 @@ mod tests {
 
     #[test]
     fn defers_run_lifo_at_exit() {
-        let out = run_src(
-            "func main() { defer print(1)\n defer print(2)\n print(3) }\n",
-        );
+        let out = run_src("func main() { defer print(1)\n defer print(2)\n print(3) }\n");
         assert_eq!(out.output, "3\n2\n1\n");
     }
 
     #[test]
     fn panic_unwinds_with_defers() {
-        let src = "func boom() { defer print(\"deferred\")\n panic(\"bad\") }\nfunc main() { boom() }\n";
+        let src =
+            "func boom() { defer print(\"deferred\")\n panic(\"bad\") }\nfunc main() { boom() }\n";
         let cfg = VmConfig::default();
         let err = run_src_with(src, AnalyzeOptions::default(), cfg).unwrap_err();
         assert_eq!(err, ExecError::Panic("bad".into()));
@@ -1845,7 +1854,8 @@ mod tests {
     fn poison_mode_detects_unsound_free() {
         // Directly free a slice that is still used afterwards — the mock
         // tcfree (§6.8) must surface the bug as a poisoned read.
-        let src = "func main() { n := 100\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n";
+        let src =
+            "func main() { n := 100\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n";
         let cfg = VmConfig {
             runtime: RuntimeConfig {
                 poison: PoisonMode::Zero,

@@ -271,7 +271,11 @@ mod tests {
         assert_eq!(Value::Int(3).display(), "3");
         assert_eq!(Value::Nil.display(), "nil");
         let s = Value::Slice(SliceVal {
-            cells: Rc::new(RefCell::new(vec![Value::Int(1), Value::Int(2), Value::Int(0)])),
+            cells: Rc::new(RefCell::new(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(0),
+            ])),
             obj: None,
             offset: 0,
             len: 2,

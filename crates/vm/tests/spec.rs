@@ -9,8 +9,8 @@ use minigo_syntax::frontend;
 use minigo_vm::{run, VmConfig};
 
 fn exec(src: &str, gofree: bool) -> String {
-    let (program, mut res, types) = frontend(src)
-        .unwrap_or_else(|e| panic!("frontend: {}\n{src}", e.render(src)));
+    let (program, mut res, types) =
+        frontend(src).unwrap_or_else(|e| panic!("frontend: {}\n{src}", e.render(src)));
     let opts = if gofree {
         AnalyzeOptions::default()
     } else {
@@ -63,10 +63,22 @@ fn arithmetic_and_operators() {
 #[test]
 fn variables_and_scoping() {
     check(&[
-        ("func main() { var x int\n var s string\n var b bool\n print(x, s == \"\", b) }\n", "0 true false\n"),
-        ("func main() { x := 1\n { x := 2\n print(x) }\n print(x) }\n", "2\n1\n"),
-        ("func main() { x, y := 1, 2\n x, y = y, x\n print(x, y) }\n", "2 1\n"),
-        ("func main() { var a, b int = 3, 4\n print(a + b) }\n", "7\n"),
+        (
+            "func main() { var x int\n var s string\n var b bool\n print(x, s == \"\", b) }\n",
+            "0 true false\n",
+        ),
+        (
+            "func main() { x := 1\n { x := 2\n print(x) }\n print(x) }\n",
+            "2\n1\n",
+        ),
+        (
+            "func main() { x, y := 1, 2\n x, y = y, x\n print(x, y) }\n",
+            "2 1\n",
+        ),
+        (
+            "func main() { var a, b int = 3, 4\n print(a + b) }\n",
+            "7\n",
+        ),
     ]);
 }
 

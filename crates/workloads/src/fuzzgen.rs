@@ -34,7 +34,6 @@ impl Gen {
     fn range(&mut self, lo: u64, hi: u64) -> u64 {
         lo + self.next() % (hi - lo).max(1)
     }
-
 }
 
 /// Generates a self-checking program from `seed`.
@@ -149,7 +148,7 @@ pub fn generate(seed: u64) -> String {
             }
             5 => {
                 // Append chain (sometimes from nil).
-                let from_nil = g.next() % 2 == 0;
+                let from_nil = g.next().is_multiple_of(2);
                 if from_nil {
                     out.push_str(&format!("    var t{v} []int\n"));
                 } else {
@@ -177,7 +176,7 @@ pub fn generate(seed: u64) -> String {
             }
         }
         // Occasionally delete from a live map.
-        if g.next() % 5 == 0 {
+        if g.next().is_multiple_of(5) {
             if let Some(m) = maps.last() {
                 out.push_str(&format!("    delete({m}, {})\n", g.range(0, 10)));
             }

@@ -16,10 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RunConfig::default()
     };
     let runs = 15;
-    println!(
-        "JSON service analogue: {} runs per setting\n",
-        runs
-    );
+    println!("JSON service analogue: {} runs per setting\n", runs);
     println!(
         "{:<9} {:>12} {:>8} {:>6} {:>12} {:>11} {:>7} {:>12}",
         "setting", "time", "stdev", "GCs", "alloced", "freed", "ratio", "maxheap"

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== run comparison ===\n");
     println!("output: {}", go_run.output.trim());
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "metric", "Go", "GoFree"
-    );
+    println!("{:<22} {:>14} {:>14}", "metric", "Go", "GoFree");
     let m = |label: &str, a: u64, b: u64| {
         println!("{label:<22} {a:>14} {b:>14}");
     };

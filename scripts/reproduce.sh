@@ -13,4 +13,7 @@ for bin in table3 table7 table8 table9 fig10 fig11 compile_speed \
   cargo run --release -q -p gofree-bench --bin "$bin" -- "${ARGS[@]}" \
     | tee "results/$bin.txt"
 done
+echo "== engines =="
+cargo run --release -q -p gofree-bench --bin engines -- "${ARGS[@]}" \
+  | tee results/vm_engines.txt
 echo "All experiments regenerated into results/."

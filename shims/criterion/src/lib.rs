@@ -1,0 +1,315 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness, implementing the surface this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::{iter, iter_with_setup}`.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. The shim keeps `cargo bench` working offline with a
+//! plain wall-clock sampler: warm up, pick an iteration count that makes
+//! one sample last `measurement_time / sample_size`, then report
+//! min/median/max nanoseconds per iteration. There are no plots, no
+//! state, and no statistical outlier analysis.
+//!
+//! Like the real crate, running the harness without a `--bench` CLI flag
+//! (as `cargo test` does) executes every benchmark exactly once as a
+//! smoke test instead of measuring it.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; holds the sampling configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies CLI conventions: without `--bench` (e.g. under
+    /// `cargo test`) each benchmark runs once instead of being sampled.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = !std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(self, name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: self.clone(),
+            name: name.to_string(),
+            parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing (overridable) configuration.
+pub struct BenchmarkGroup<'a> {
+    cfg: Criterion,
+    name: String,
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut cfg = self.cfg.clone();
+        run_one(&mut cfg, &label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no extra input.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut cfg = self.cfg.clone();
+        run_one(&mut cfg, &label, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus a displayed parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `new("gofree", 8)` displays as `gofree/8`.
+    pub fn new(function: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    cfg: Criterion,
+    /// ns-per-iteration samples collected by `iter*`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm.elapsed() < self.cfg.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = warm.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target_sample_ns =
+            self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let iters = (target_sample_ns / est_ns.max(1.0)).ceil().max(1.0) as u64;
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` only, re-running `setup` (untimed) before every
+    /// iteration.
+    pub fn iter_with_setup<S, I, R, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.cfg.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < self.cfg.warm_up_time {
+            black_box(routine(setup()));
+        }
+        // One timed iteration per sample: setup dominates wall clock, so
+        // batching would starve the sample count.
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(cfg: &mut Criterion, label: &str, f: F) {
+    let mut b = Bencher {
+        cfg: cfg.clone(),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if cfg.test_mode {
+        println!("{label}: smoke-tested (1 iteration)");
+        return;
+    }
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    s.sort_by(|a, b| a.total_cmp(b));
+    let min = s[0];
+    let max = s[s.len() - 1];
+    let median = s[s.len() / 2];
+    println!(
+        "{label:<44} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the harness `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn sampling_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("id", 1), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_with_param() {
+        assert_eq!(BenchmarkId::new("f", 42).0, "f/42");
+    }
+}

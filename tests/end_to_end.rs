@@ -1,9 +1,7 @@
 //! Integration tests spanning all crates: front end → escape analysis →
 //! instrumentation → VM → runtime, checked end to end.
 
-use gofree::{
-    compile, compile_and_run, execute, CompileOptions, RunConfig, Setting,
-};
+use gofree::{compile, compile_and_run, execute, CompileOptions, RunConfig, Setting};
 use gofree_workloads::{all, by_name, Scale};
 
 /// The core semantic guarantee: GoFree's instrumentation never changes
@@ -130,10 +128,9 @@ fn corpus_programs_run_identically() {
     for n in [10, 35, 60] {
         let src = gofree_workloads::corpus::generate(n);
         let cfg = RunConfig::deterministic(n as u64);
-        let go = compile_and_run(&src, Setting::Go, &cfg)
-            .unwrap_or_else(|e| panic!("n={n}: {e}"));
-        let gofree = compile_and_run(&src, Setting::GoFree, &cfg)
-            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let go = compile_and_run(&src, Setting::Go, &cfg).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let gofree =
+            compile_and_run(&src, Setting::GoFree, &cfg).unwrap_or_else(|e| panic!("n={n}: {e}"));
         assert_eq!(go.output, gofree.output, "n={n}");
     }
 }
@@ -174,8 +171,8 @@ fn feature_programs_equivalent() {
     ];
     for (i, src) in programs.iter().enumerate() {
         let cfg = RunConfig::deterministic(i as u64);
-        let go = compile_and_run(src, Setting::Go, &cfg)
-            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+        let go =
+            compile_and_run(src, Setting::Go, &cfg).unwrap_or_else(|e| panic!("program {i}: {e}"));
         let gofree = compile_and_run(src, Setting::GoFree, &cfg)
             .unwrap_or_else(|e| panic!("program {i}: {e}"));
         assert_eq!(go.output, gofree.output, "program {i}");

@@ -1,0 +1,163 @@
+//! Differential tests: the bytecode engine must be observationally
+//! identical to the tree-walking interpreter — byte-identical program
+//! output, the same `tcfree` insertion counts, and bit-identical
+//! runtime metrics (allocations, frees, GC cycles, virtual time) — on
+//! every workload, in both Go and GoFree modes.
+
+use gofree::{compile, execute, CompileOptions, Compiled, Report, RunConfig, Setting, VmEngine};
+use gofree_workloads::{corpus, fuzzgen, micro, Scale};
+
+/// Runs one compiled program on both engines and asserts every
+/// observable field of the reports matches.
+fn assert_engines_agree(label: &str, compiled: &Compiled, setting: Setting, cfg: &RunConfig) {
+    let run_on = |engine: VmEngine| -> Report {
+        let cfg = RunConfig {
+            engine,
+            ..cfg.clone()
+        };
+        execute(compiled, setting, &cfg)
+            .unwrap_or_else(|e| panic!("{label} ({setting}, {engine}): {e}"))
+    };
+    let tree = run_on(VmEngine::TreeWalk);
+    let byte = run_on(VmEngine::Bytecode);
+    assert_eq!(tree.output, byte.output, "{label} ({setting}): output");
+    assert_eq!(tree.time, byte.time, "{label} ({setting}): virtual time");
+    assert_eq!(tree.steps, byte.steps, "{label} ({setting}): steps");
+    assert_eq!(
+        format!("{:?}", tree.metrics),
+        format!("{:?}", byte.metrics),
+        "{label} ({setting}): metrics"
+    );
+    assert_eq!(
+        tree.site_profile, byte.site_profile,
+        "{label} ({setting}): site profile"
+    );
+}
+
+/// Compiles `src` both ways and checks engine agreement under Go and
+/// GoFree (the two compilers produce different programs — both must
+/// agree across engines), plus the GC-off setting.
+fn check_source(label: &str, src: &str, cfg: &RunConfig) {
+    let go = compile(src, &CompileOptions::go())
+        .unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+    let gofree = compile(src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+    assert!(
+        gofree.free_count() == gofree.analysis.stats.to_free,
+        "{label}: free_count is engine-independent"
+    );
+    assert_engines_agree(label, &go, Setting::Go, cfg);
+    assert_engines_agree(label, &go, Setting::GoGcOff, cfg);
+    assert_engines_agree(label, &gofree, Setting::GoFree, cfg);
+}
+
+#[test]
+fn engines_agree_on_all_workloads() {
+    for w in gofree_workloads::all(Scale::Test) {
+        check_source(w.name, &w.source, &RunConfig::deterministic(7));
+    }
+}
+
+#[test]
+fn engines_agree_on_lowfree_workload() {
+    let w = gofree_workloads::programs::lowfree(Scale::Test);
+    check_source(w.name, &w.source, &RunConfig::deterministic(7));
+}
+
+#[test]
+fn engines_agree_with_jitter_and_migrations() {
+    // Parity must hold for any seed, including with clock jitter and
+    // scheduler migrations enabled: both engines must draw the same RNG
+    // sequence from the simulated runtime.
+    for seed in [0xDEAD_BEEF] {
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        for w in gofree_workloads::all(Scale::Test) {
+            check_source(w.name, &w.source, &cfg);
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_map_micro() {
+    for &c in micro::C_VALUES {
+        let src = micro::source(c, 20_000);
+        check_source(&format!("micro c={c}"), &src, &RunConfig::deterministic(3));
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_corpus() {
+    for nfuncs in [1, 4, 16] {
+        let src = corpus::generate(nfuncs);
+        check_source(
+            &format!("corpus n={nfuncs}"),
+            &src,
+            &RunConfig::deterministic(11),
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_fuzzed_programs() {
+    for seed in 0..40 {
+        let src = fuzzgen::generate(seed);
+        let label = format!("fuzz seed={seed}");
+        // Fuzzed programs may legitimately fail at run time (bounds,
+        // nil); both engines must then fail identically too, so compare
+        // the full result including the error rendering.
+        let go = compile(&src, &CompileOptions::go())
+            .unwrap_or_else(|e| panic!("{label}: {}", e.render(&src)));
+        let gofree = compile(&src, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{label}: {}", e.render(&src)));
+        for (compiled, setting) in [(&go, Setting::Go), (&gofree, Setting::GoFree)] {
+            let run_on = |engine: VmEngine| {
+                let cfg = RunConfig {
+                    engine,
+                    ..RunConfig::deterministic(5)
+                };
+                execute(compiled, setting, &cfg)
+            };
+            match (run_on(VmEngine::TreeWalk), run_on(VmEngine::Bytecode)) {
+                (Ok(t), Ok(b)) => {
+                    assert_eq!(t.output, b.output, "{label} ({setting}): output");
+                    assert_eq!(t.time, b.time, "{label} ({setting}): time");
+                    assert_eq!(
+                        format!("{:?}", t.metrics),
+                        format!("{:?}", b.metrics),
+                        "{label} ({setting}): metrics"
+                    );
+                }
+                (Err(t), Err(b)) => {
+                    assert_eq!(t.to_string(), b.to_string(), "{label} ({setting}): error");
+                }
+                (t, b) => panic!(
+                    "{label} ({setting}): engines disagree on success: \
+                     tree-walk={t:?} bytecode={b:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_sample_programs() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("samples directory") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mgo") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable");
+        check_source(
+            &path.display().to_string(),
+            &src,
+            &RunConfig::deterministic(1),
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no sample programs found");
+}

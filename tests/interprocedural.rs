@@ -5,8 +5,8 @@
 use gofree::{compile, compile_and_run, CompileOptions, RunConfig, Setting};
 
 fn frees_in(src: &str) -> String {
-    let compiled = compile(src, &CompileOptions::default())
-        .unwrap_or_else(|e| panic!("{}", e.render(src)));
+    let compiled =
+        compile(src, &CompileOptions::default()).unwrap_or_else(|e| panic!("{}", e.render(src)));
     compiled.instrumented_source()
 }
 
@@ -50,7 +50,10 @@ func main() {
         "the depth-3 allocation frees at the top caller:\n{text}"
     );
     // The intermediate functions must NOT free what they return.
-    assert!(!text.contains("func level2(n int) []int {\n\ttcfree"), "{text}");
+    assert!(
+        !text.contains("func level2(n int) []int {\n\ttcfree"),
+        "{text}"
+    );
     runs_equivalently(src);
 }
 
@@ -132,8 +135,14 @@ func main() {
 }
 "#;
     let text = frees_in(src);
-    assert!(text.contains("tcfree(a)"), "fresh slice result freed:\n{text}");
-    assert!(text.contains("tcfree(c)"), "fresh map result freed:\n{text}");
+    assert!(
+        text.contains("tcfree(a)"),
+        "fresh slice result freed:\n{text}"
+    );
+    assert!(
+        text.contains("tcfree(c)"),
+        "fresh map result freed:\n{text}"
+    );
     assert!(
         !text.contains("tcfree(b)"),
         "passthrough of outer-scope base must not be freed:\n{text}"
@@ -168,7 +177,10 @@ func main() {
 }
 "#;
     let text = frees_in(src);
-    assert!(text.contains("tcfree(l)") && text.contains("tcfree(r)"), "{text}");
+    assert!(
+        text.contains("tcfree(l)") && text.contains("tcfree(r)"),
+        "{text}"
+    );
     runs_equivalently(src);
 }
 

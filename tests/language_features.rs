@@ -138,8 +138,8 @@ fn printer_round_trips_new_syntax() {
     let src = "func f(s []int) []int { t := s[1:3]\n switch len(t) {\ncase 2:\n return t\ndefault:\n return s[:]\n} }\nfunc main() { print(len(f(make([]int, 5)))) }\n";
     let p1 = minigo_syntax::parse(src).expect("parses");
     let text1 = minigo_syntax::print_program(&p1);
-    let p2 = minigo_syntax::parse(&text1)
-        .unwrap_or_else(|e| panic!("{}\n{text1}", e.render(&text1)));
+    let p2 =
+        minigo_syntax::parse(&text1).unwrap_or_else(|e| panic!("{}\n{text1}", e.render(&text1)));
     let text2 = minigo_syntax::print_program(&p2);
     assert_eq!(text1, text2, "printer fixpoint");
     assert!(text1.contains("s[1:3]"));
@@ -159,9 +159,6 @@ fn typecheck_rejects_bad_switch_and_reslice() {
         "func main() { s := make([]int, 3)\n t := s[\"a\":2]\n print(len(t)) }\n",
     ];
     for src in bad {
-        assert!(
-            minigo_syntax::frontend(src).is_err(),
-            "must reject: {src}"
-        );
+        assert!(minigo_syntax::frontend(src).is_err(), "must reject: {src}");
     }
 }

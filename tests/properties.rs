@@ -178,7 +178,7 @@ proptest! {
             (state >> 33) as u32
         };
         fn gen(depth: u32, next: &mut impl FnMut() -> u32) -> String {
-            if depth == 0 || next() % 3 == 0 {
+            if depth == 0 || next().is_multiple_of(3) {
                 return format!("{}", next() % 100);
             }
             let op = ["+", "-", "*", "/", "%"][(next() % 5) as usize];

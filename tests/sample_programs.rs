@@ -19,8 +19,7 @@ fn all_sample_programs_run_identically() {
             .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
         let gofree = compile(&src, &CompileOptions::default())
             .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
-        let go_out = execute(&go, Setting::Go, &cfg)
-            .unwrap_or_else(|e| panic!("{name} (go): {e}"));
+        let go_out = execute(&go, Setting::Go, &cfg).unwrap_or_else(|e| panic!("{name} (go): {e}"));
         let gf_out = execute(&gofree, Setting::GoFree, &cfg)
             .unwrap_or_else(|e| panic!("{name} (gofree): {e}"));
         assert_eq!(go_out.output, gf_out.output, "{name}");
@@ -36,5 +35,8 @@ fn all_sample_programs_run_identically() {
         assert_eq!(go_out.output, poisoned.output, "{name} poisoned");
         checked += 1;
     }
-    assert!(checked >= 4, "expected several sample programs, found {checked}");
+    assert!(
+        checked >= 4,
+        "expected several sample programs, found {checked}"
+    );
 }

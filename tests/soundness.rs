@@ -101,7 +101,8 @@ fn adversarial_programs_survive_poisoning() {
 /// a hand-written premature tcfree fails under poisoning.
 #[test]
 fn poisoning_detects_hand_written_unsound_free() {
-    let src = "func main() { n := 64\n s := make([]int, n)\n s[0] = 3\n tcfree(s)\n print(s[0]) }\n";
+    let src =
+        "func main() { n := 64\n s := make([]int, n)\n s[0] = 3\n tcfree(s)\n print(s[0]) }\n";
     let compiled = compile(src, &CompileOptions::go()).unwrap();
     let cfg = RunConfig {
         poison: PoisonMode::Zero,
