@@ -142,6 +142,7 @@ pub fn analyze(
     let solve_cfg = SolveConfig {
         gofree: opts.mode == Mode::GoFree,
         back_propagation: opts.back_propagation && opts.mode == Mode::GoFree,
+        ..SolveConfig::default()
     };
 
     let mut summaries: HashMap<FuncId, FuncSummary> = HashMap::new();
@@ -157,6 +158,7 @@ pub fn analyze(
         stats.solve.walks += s.walks;
         stats.solve.relaxations += s.relaxations;
         stats.solve.passes += s.passes;
+        stats.solve.skipped_walks += s.skipped_walks;
         let summary = extract_summary(program, res, &fg, opts);
         summaries.insert(fid, summary);
         funcs.insert(fid, fg);

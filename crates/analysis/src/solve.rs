@@ -27,6 +27,13 @@ pub struct SolveConfig {
     /// Enable leaf→root back-propagation (fig. 5 lines 10–13). Disabling it
     /// is the ablation showing `Incomplete`/`Outlived` need it.
     pub back_propagation: bool,
+    /// Skip roots whose reachable subgraph didn't change in the previous
+    /// fixpoint pass. Every constraint is monotone and reads only the root
+    /// and its walk cone, so a root whose cone is untouched re-derives the
+    /// same facts — skipping it cannot change the (unique) fixpoint.
+    /// Disabling this is the always-correct reference mode the equivalence
+    /// test compares against.
+    pub dirty_roots: bool,
 }
 
 impl Default for SolveConfig {
@@ -34,6 +41,7 @@ impl Default for SolveConfig {
         SolveConfig {
             gofree: true,
             back_propagation: true,
+            dirty_roots: true,
         }
     }
 }
@@ -48,6 +56,8 @@ pub struct SolveStats {
     pub relaxations: usize,
     /// Number of outer fixpoint passes (should stay a small constant).
     pub passes: usize,
+    /// Root walks skipped by dirty-root tracking (their cone was clean).
+    pub skipped_walks: usize,
 }
 
 /// Computes `MinDerefs(m, root)` for every `m ∈ Holds(root)`.
@@ -149,9 +159,13 @@ pub fn solve(g: &mut EscapeGraph, cfg: &SolveConfig) -> SolveStats {
     // lattices have constant height, so the number of passes is bounded by
     // a small constant in practice (tests pin this).
     let max_passes = g.len() + 4;
+    // The first pass always seeds every root; later passes only need roots
+    // whose walk cone was touched by the previous pass.
+    let mut seed: Vec<LocId> = g.ids().collect();
     loop {
         stats.passes += 1;
-        let changed = walkall_pass(g, cfg, &mut stats);
+        let mut touched = vec![false; g.len()];
+        let changed = walkall_pass(g, cfg, &mut stats, &seed, &mut touched);
         if !changed {
             break;
         }
@@ -159,15 +173,57 @@ pub fn solve(g: &mut EscapeGraph, cfg: &SolveConfig) -> SolveStats {
             stats.passes <= max_passes,
             "escape property solve failed to converge"
         );
+        seed = if cfg.dirty_roots {
+            let dirty = dirty_roots(g, &touched);
+            stats.skipped_walks += g.len() - dirty.len();
+            dirty
+        } else {
+            g.ids().collect()
+        };
     }
     stats
 }
 
-/// One full work-queue pass; returns whether anything changed.
-fn walkall_pass(g: &mut EscapeGraph, cfg: &SolveConfig, stats: &mut SolveStats) -> bool {
+/// Roots that must be re-walked after a pass that touched `touched`: the
+/// forward closure (along src→dst edges) of every touched location, i.e.
+/// exactly the roots whose walk cone contains a touched location. A root
+/// outside this set re-reads the same operands as last pass, and every
+/// constraint is a pure monotone function of those operands, so re-walking
+/// it is a no-op.
+fn dirty_roots(g: &EscapeGraph, touched: &[bool]) -> Vec<LocId> {
+    let mut out: Vec<Vec<LocId>> = vec![Vec::new(); g.len()];
+    for e in g.edges() {
+        out[e.src.index()].push(e.dst);
+    }
+    let mut dirty = touched.to_vec();
+    let mut queue: std::collections::VecDeque<LocId> =
+        g.ids().filter(|id| touched[id.index()]).collect();
+    while let Some(cur) = queue.pop_front() {
+        for &next in &out[cur.index()] {
+            if !dirty[next.index()] {
+                dirty[next.index()] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    g.ids().filter(|id| dirty[id.index()]).collect()
+}
+
+/// One work-queue pass over the `seed` roots; returns whether anything
+/// changed and flags every mutated location in `touched`.
+fn walkall_pass(
+    g: &mut EscapeGraph,
+    cfg: &SolveConfig,
+    stats: &mut SolveStats,
+    seed: &[LocId],
+    touched: &mut [bool],
+) -> bool {
     let mut any_change = false;
-    let mut in_queue = vec![true; g.len()];
-    let mut queue: std::collections::VecDeque<LocId> = g.ids().collect();
+    let mut in_queue = vec![false; g.len()];
+    for id in seed {
+        in_queue[id.index()] = true;
+    }
+    let mut queue: std::collections::VecDeque<LocId> = seed.iter().copied().collect();
     while let Some(root) = queue.pop_front() {
         in_queue[root.index()] = false;
         stats.walks += 1;
@@ -182,6 +238,7 @@ fn walkall_pass(g: &mut EscapeGraph, cfg: &SolveConfig, stats: &mut SolveStats) 
             let leaf_changed = apply_forward(g, root, leaf, d, cfg);
             if leaf_changed {
                 any_change = true;
+                touched[leaf.index()] = true;
                 if !in_queue[leaf.index()] {
                     in_queue[leaf.index()] = true;
                     queue.push_back(leaf);
@@ -192,9 +249,12 @@ fn walkall_pass(g: &mut EscapeGraph, cfg: &SolveConfig, stats: &mut SolveStats) 
                 root_changed = true;
             }
         }
-        if root_changed && !in_queue[root.index()] {
-            in_queue[root.index()] = true;
-            queue.push_back(root);
+        if root_changed {
+            touched[root.index()] = true;
+            if !in_queue[root.index()] {
+                in_queue[root.index()] = true;
+                queue.push_back(root);
+            }
         }
     }
     any_change
@@ -502,6 +562,7 @@ mod tests {
             &SolveConfig {
                 gofree: true,
                 back_propagation: false,
+                ..SolveConfig::default()
             },
         );
         assert!(
@@ -537,6 +598,7 @@ mod tests {
             &SolveConfig {
                 gofree: false,
                 back_propagation: false,
+                ..SolveConfig::default()
             },
         );
         assert!(g.loc(x).heap_alloc);
@@ -576,6 +638,69 @@ mod tests {
         let stats = solve(&mut g, &SolveConfig::default());
         assert!(g.loc(prev).incomplete);
         assert!(stats.passes <= 4, "got {} passes", stats.passes);
+    }
+
+    /// Dirty-root tracking must reach the exact same fixpoint as re-walking
+    /// every root each pass, while doing strictly fewer walks on graphs
+    /// that need multiple passes.
+    #[test]
+    fn dirty_roots_match_full_passes() {
+        // A shape that needs several passes: incompleteness flows down a
+        // chain while a side branch stays untouched (and thus skippable).
+        let mk = || {
+            let mut g = EscapeGraph::new();
+            let mut prev = var(&mut g, "v0", 0, 1);
+            let first = prev;
+            for i in 1..30 {
+                let v = var(&mut g, &format!("v{i}"), 0, 1);
+                g.add_edge(prev, v, 0);
+                prev = v;
+            }
+            // Disconnected diamond that converges in pass one.
+            let a = var(&mut g, "a", 0, 2);
+            let b = var(&mut g, "b", 0, 1);
+            g.add_edge(a, b, -1);
+            g.loc_mut(first).incomplete = true;
+            g.loc_mut(first).exposes = true;
+            (g, first)
+        };
+        let snapshot = |g: &EscapeGraph| {
+            g.locations()
+                .iter()
+                .map(|l| {
+                    (
+                        l.heap_alloc,
+                        l.exposes,
+                        l.incomplete,
+                        l.incomplete_internal,
+                        l.outermost_ref,
+                        l.outlived,
+                        l.points_to_heap,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let (mut with, _) = mk();
+        let s_with = solve(&mut with, &SolveConfig::default());
+        let (mut without, _) = mk();
+        let s_without = solve(
+            &mut without,
+            &SolveConfig {
+                dirty_roots: false,
+                ..SolveConfig::default()
+            },
+        );
+        assert_eq!(snapshot(&with), snapshot(&without), "solutions diverge");
+        assert_eq!(with.dump(), without.dump());
+        assert!(s_with.skipped_walks > 0, "nothing was skipped");
+        assert_eq!(s_without.skipped_walks, 0);
+        assert!(
+            s_with.walks < s_without.walks,
+            "dirty tracking did not reduce walks: {} vs {}",
+            s_with.walks,
+            s_without.walks
+        );
     }
 
     /// holds() includes every reachable source; points_to() only d == -1.

@@ -6,7 +6,7 @@
 //! 4. GrowMapAndFreeOld (§4.6.2) on/off.
 
 use gofree::{compile, execute, CompileOptions, FreeTargets, Mode, RunConfig, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 
 fn free_ratio(src: &str, copts: &CompileOptions, cfg: &RunConfig) -> (f64, u64, u64) {
     let compiled = compile(src, copts).expect("compiles");
@@ -57,7 +57,7 @@ func main() {{
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!("Ablations\n");
     let n = if opts.quick { 40 } else { 600 };
     let pipeline = pipeline_source(n);
@@ -135,7 +135,7 @@ fn main() {
     for p in [0.0, 0.0005, 0.005, 0.05] {
         let cfg = RunConfig {
             migrate_prob: p,
-            ..eval_run_config()
+            ..opts.run_config()
         };
         let (fr, attempts, bails) = free_ratio(&w.source, &CompileOptions::default(), &cfg);
         println!("{p:<12} {attempts:>9} {bails:>8} {:>10}", pct(fr));

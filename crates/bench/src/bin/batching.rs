@@ -3,7 +3,7 @@
 //! freed in a single scope") — this binary quantifies it.
 
 use gofree::{compile, CompileOptions};
-use gofree_bench::{eval_run_config, HarnessOptions};
+use gofree_bench::HarnessOptions;
 use minigo_runtime::RuntimeConfig;
 use minigo_vm::VmConfig;
 
@@ -63,7 +63,7 @@ func main() {{
 fn main() {
     let opts = HarnessOptions::from_args();
     let n = if opts.quick { 100 } else { 2000 };
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!(
         "tcfree batching (§5): {} burst scopes, 4 frees per scope\n",
         n

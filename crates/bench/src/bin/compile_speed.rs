@@ -12,6 +12,7 @@ use gofree::{compile, welch_t_test, CompileOptions};
 use gofree_bench::HarnessOptions;
 use gofree_workloads::corpus;
 use minigo_escape::baseline::{conn, fast};
+use minigo_escape::{build_func_graph, solve, BuildOptions, SolveConfig};
 use minigo_syntax::frontend;
 
 /// Interleaves the two compilers' runs so thermal/frequency drift hits
@@ -109,4 +110,55 @@ fn main() {
     }
     println!("\nExpected shape: GoFree tracks Go closely (same O(N^2) frame);");
     println!("fast is cheapest; the connection graph grows fastest.");
+
+    // Dirty-root tracking: solve every corpus function with and without
+    // skipping clean roots and report how much propagation work it saves
+    // (the solutions are asserted identical).
+    println!("\nDirty-root tracking in the property solver (same fixpoint, less work):");
+    println!(
+        "{:>8} {:>24} {:>24} {:>18}",
+        "", "-- full passes --", "-- dirty roots --", "-- reduction --"
+    );
+    println!(
+        "{:>8} {:>10} {:>13} {:>10} {:>13} {:>9} {:>8}",
+        "funcs", "walks", "relaxations", "walks", "relaxations", "walks", "relax"
+    );
+    for n in [40usize, 160, 320] {
+        let src = corpus::generate(n);
+        let (program, res, types) = frontend(&src).expect("corpus compiles");
+        let run = |dirty_roots: bool| {
+            let mut walks = 0usize;
+            let mut relax = 0usize;
+            let mut dumps = String::new();
+            for f in &program.funcs {
+                let mut fg = build_func_graph(
+                    &program,
+                    &res,
+                    &types,
+                    f,
+                    &std::collections::HashMap::new(),
+                    &BuildOptions::default(),
+                );
+                let s = solve(
+                    &mut fg.graph,
+                    &SolveConfig {
+                        dirty_roots,
+                        ..SolveConfig::default()
+                    },
+                );
+                walks += s.walks;
+                relax += s.relaxations;
+                dumps.push_str(&fg.graph.dump());
+            }
+            (walks, relax, dumps)
+        };
+        let (w_full, r_full, d_full) = run(false);
+        let (w_dirty, r_dirty, d_dirty) = run(true);
+        assert_eq!(d_full, d_dirty, "dirty-root tracking changed the solution");
+        println!(
+            "{n:>8} {w_full:>10} {r_full:>13} {w_dirty:>10} {r_dirty:>13} {:>8.1}% {:>8.1}%",
+            (1.0 - w_dirty as f64 / w_full.max(1) as f64) * 100.0,
+            (1.0 - r_dirty as f64 / r_full.max(1) as f64) * 100.0,
+        );
+    }
 }

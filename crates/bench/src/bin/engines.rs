@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use gofree::{compile, execute, Compiled, RunConfig, Setting, VmEngine};
-use gofree_bench::{eval_run_config, HarnessOptions};
+use gofree_bench::HarnessOptions;
 
 fn best_of(reps: u64, compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Duration {
     execute(compiled, setting, cfg).expect("workload runs"); // warm-up
@@ -28,7 +28,7 @@ fn best_of(reps: u64, compiled: &Compiled, setting: Setting, cfg: &RunConfig) ->
 fn main() {
     let opts = HarnessOptions::from_args();
     let reps = if opts.quick { 2 } else { 5 };
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!(
         "VM engine wall-clock comparison (best of {reps}, scale {:?})\n",
         opts.scale()

@@ -4,13 +4,13 @@
 //! reduction toward heap-size reduction (§6.3).
 
 use gofree::{fig10_point, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 use gofree_workloads::micro;
 
 fn main() {
     let opts = HarnessOptions::from_args();
     let budget = if opts.quick { 128 } else { 2048 };
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!("Fig. 10: microbenchmark, object-size sweep (total allocation held ~constant)\n");
     println!(
         "{:>4} | {:>10} {:>10} {:>10} {:>10} | {:>14}",

@@ -2,7 +2,7 @@
 //! three settings (GoFree, Go, Go-GCOff), shown as a text histogram.
 
 use gofree::{distribution, Setting};
-use gofree_bench::{eval_run_config, run_three_settings, HarnessOptions};
+use gofree_bench::{run_three_settings, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -11,7 +11,7 @@ fn main() {
         "Fig. 11: run-time distribution, {} runs per setting (workload: json analogue)\n",
         opts.runs
     );
-    let (go, gofree, gcoff) = run_three_settings(&w.source, opts.runs, &eval_run_config());
+    let (go, gofree, gcoff) = run_three_settings(&w.source, opts.runs, &opts.run_config());
     let dists = [
         distribution(Setting::GoFree.to_string(), &gofree),
         distribution(Setting::Go.to_string(), &go),

@@ -5,7 +5,7 @@
 //! GOGC at the default 100; this extends table 7 along that axis.)
 
 use gofree::{compile, execute, RunConfig, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -19,7 +19,7 @@ fn main() {
     for gogc in [25u64, 50, 100, 200, 400] {
         let cfg = RunConfig {
             gogc,
-            ..eval_run_config()
+            ..opts.run_config()
         };
         let go = compile(&w.source, &Setting::Go.compile_options()).expect("compiles");
         let gf = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");

@@ -3,7 +3,7 @@
 //! while GoFree's content tags already free them without inlining.
 
 use gofree::{compile, execute, CompileOptions, Mode, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 
 /// A factory-heavy program: every temporary comes from a small callee.
 fn factory_source(n: u64) -> String {
@@ -38,7 +38,7 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let n = if opts.quick { 50 } else { 800 };
     let src = factory_source(n);
-    let base = eval_run_config();
+    let base = opts.run_config();
 
     println!("Inlining ablation (§4.6.4): factory-heavy workload, {n} iterations\n");
     println!(

@@ -1,0 +1,104 @@
+//! Wall-clock comparison of the parallel run-distribution harness.
+//!
+//! Times the full three-setting run matrix of every table7 workload at
+//! 1/2/4/8 worker threads, checks each parallel sweep is bit-identical
+//! to the sequential baseline, and prints per-workload and geomean
+//! speedups. Reported experiment numbers never depend on `--jobs`
+//! (tests/parallel.rs); only host wall-clock does, bounded by the
+//! host's core count (recorded in the header).
+//!
+//! `results/parallel_harness.txt` is a saved run of this binary.
+
+use std::time::{Duration, Instant};
+
+use gofree::{compile, run_matrix, Compiled, RunConfig, Setting};
+use gofree_bench::HarnessOptions;
+
+const JOB_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+/// One full (setting × run-index) sweep of a workload, returning the
+/// wall-clock time and a fingerprint of every report for the
+/// bit-identity check.
+fn sweep(
+    cells: &[(&Compiled, Setting)],
+    base: &RunConfig,
+    runs: u64,
+    jobs: usize,
+) -> (Duration, String) {
+    let cfg = RunConfig {
+        jobs,
+        ..base.clone()
+    };
+    let start = Instant::now();
+    let reports = run_matrix(cells, &cfg, runs).expect("workload runs");
+    let elapsed = start.elapsed();
+    (elapsed, format!("{reports:?}"))
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let base = opts.run_config();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Parallel harness wall-clock ({} runs x 3 settings per workload, host cores: {cores})\n",
+        opts.runs
+    );
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>8}",
+        "workload", "jobs=1", "jobs=2", "jobs=4", "jobs=8"
+    );
+
+    // geomean accumulator: per job level, the ln-sum of speedups vs jobs=1.
+    let mut lnsum = [0.0f64; JOB_LEVELS.len()];
+    let mut count = 0u32;
+    for w in gofree_workloads::all(opts.scale()) {
+        let compiled: Vec<(Compiled, Setting)> = Setting::all()
+            .into_iter()
+            .map(|s| {
+                let c = compile(&w.source, &s.compile_options()).expect("workload compiles");
+                (c, s)
+            })
+            .collect();
+        let cells: Vec<(&Compiled, Setting)> = compiled.iter().map(|(c, s)| (c, *s)).collect();
+        // Warm-up, and the sequential baseline everything is compared to.
+        let (_, baseline_fp) = sweep(&cells, &base, opts.runs, 1);
+        let mut times: Vec<f64> = Vec::new();
+        for (i, &jobs) in JOB_LEVELS.iter().enumerate() {
+            let (t, fp) = sweep(&cells, &base, opts.runs, jobs);
+            assert_eq!(
+                fp, baseline_fp,
+                "reports at jobs={jobs} diverge from sequential for {}",
+                w.name
+            );
+            if i > 0 {
+                lnsum[i] += (times[0] / t.as_secs_f64().max(1e-9)).ln();
+            }
+            times.push(t.as_secs_f64());
+        }
+        count += 1;
+        println!(
+            "{:<10} {:>8.2}ms {:>7.2}x {:>7.2}x {:>7.2}x",
+            w.name,
+            times[0] * 1e3,
+            times[0] / times[1].max(1e-9),
+            times[0] / times[2].max(1e-9),
+            times[0] / times[3].max(1e-9),
+        );
+    }
+
+    let geomean = |i: usize| (lnsum[i] / count as f64).exp();
+    println!(
+        "\n{:<10} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x",
+        "geomean",
+        "",
+        geomean(1),
+        geomean(2),
+        geomean(3)
+    );
+    println!("\nAll parallel sweeps verified bit-identical to the sequential baseline.");
+    if cores < 4 {
+        println!(
+            "Note: host exposes {cores} core(s); speedups are bounded by available parallelism."
+        );
+    }
+}

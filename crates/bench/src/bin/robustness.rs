@@ -5,7 +5,7 @@
 //! means the inserted frees are sound.
 
 use gofree::{compile, execute, PoisonMode, RunConfig, Setting};
-use gofree_bench::{eval_run_config, HarnessOptions};
+use gofree_bench::HarnessOptions;
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -14,11 +14,11 @@ fn main() {
     let mut failed = 0;
     for w in gofree_workloads::all(opts.scale()) {
         let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
-        let clean = execute(&compiled, Setting::GoFree, &eval_run_config()).expect("clean run");
+        let clean = execute(&compiled, Setting::GoFree, &opts.run_config()).expect("clean run");
         for (label, poison) in [("zero", PoisonMode::Zero), ("flip", PoisonMode::Flip)] {
             let cfg = RunConfig {
                 poison,
-                ..eval_run_config()
+                ..opts.run_config()
             };
             checked += 1;
             match execute(&compiled, Setting::GoFree, &cfg) {

@@ -3,15 +3,12 @@
 //! the whole artifact (`--runs`/`--quick` apply).
 
 use gofree::{compile, table7_row, table9_row, Setting};
-use gofree_bench::{eval_run_config, pct, run_three_settings, HarnessOptions};
+use gofree_bench::{pct, run_three_settings, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
     let runs = opts.runs.min(15);
-    let base = gofree::RunConfig {
-        engine: opts.engine,
-        ..eval_run_config()
-    };
+    let base = opts.run_config();
     println!(
         "GoFree reproduction summary ({runs} runs per setting, scale: {:?}, engine: {})\n",
         opts.scale(),

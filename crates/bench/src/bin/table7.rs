@@ -4,11 +4,11 @@
 //! per setting (the paper uses 99).
 
 use gofree::table7_row;
-use gofree_bench::{eval_run_config, fmt_p, pct, run_three_settings, HarnessOptions};
+use gofree_bench::{fmt_p, pct, run_three_settings, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!(
         "Table 7: effect of GoFree's optimizations ({} runs per setting, ratios are GoFree/Go; <100% means GoFree is better)\n",
         opts.runs

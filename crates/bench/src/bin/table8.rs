@@ -3,11 +3,11 @@
 //! justify GoFree's deallocation-target selection (§6.5).
 
 use gofree::{execute, table8_row, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!("Table 8: stack/heap allocation decisions (one GoFree run per project)\n");
     println!(
         "{:<10} | {:>9} {:>8} | {:>8} {:>9} {:>8} {:>7} | {:>8} {:>9} {:>8} {:>7}",

@@ -2,11 +2,11 @@
 //! FreeSlice() vs FreeMap() vs GrowMapAndFreeOld() (§6.6).
 
 use gofree::{execute, table9_row, Setting};
-use gofree_bench::{eval_run_config, pct, HarnessOptions};
+use gofree_bench::{pct, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let base = eval_run_config();
+    let base = opts.run_config();
     println!("Table 9: contribution breakdown of reclaimed space (rows sum to 100%)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>20}",

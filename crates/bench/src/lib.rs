@@ -18,7 +18,7 @@
 //! Criterion benches under `benches/` time the analyses and the runtime
 //! primitives themselves.
 
-use gofree::{RunConfig, Setting};
+use gofree::{Compiled, RunConfig, Setting};
 
 /// Common command-line options for the experiment binaries.
 #[derive(Debug, Clone)]
@@ -31,6 +31,10 @@ pub struct HarnessOptions {
     /// either way (differential-tested); the engines only differ in host
     /// wall-clock speed.
     pub engine: gofree::VmEngine,
+    /// Worker threads fanning (workload × setting × run-index) cells
+    /// across cores. Reported numbers are identical for any value
+    /// (tests/parallel.rs); only host wall-clock changes.
+    pub jobs: usize,
 }
 
 impl Default for HarnessOptions {
@@ -39,6 +43,7 @@ impl Default for HarnessOptions {
             runs: 99,
             quick: false,
             engine: gofree::VmEngine::default(),
+            jobs: gofree::default_jobs(),
         }
     }
 }
@@ -66,10 +71,16 @@ impl HarnessOptions {
                         opts.engine = e;
                     }
                 }
+                "--jobs" | "-j" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1) {
+                        opts.jobs = n;
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --runs N (default 99), --quick, \
-                         --engine tree-walk|bytecode (default bytecode)"
+                         --engine tree-walk|bytecode (default bytecode), \
+                         --jobs N (default GOFREE_JOBS or 1)"
                     );
                     std::process::exit(0);
                 }
@@ -85,6 +96,16 @@ impl HarnessOptions {
             gofree_workloads::Scale::Test
         } else {
             gofree_workloads::Scale::Full
+        }
+    }
+
+    /// The evaluation [`RunConfig`] carrying this harness's engine and
+    /// worker-count selections.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            engine: self.engine,
+            jobs: self.jobs,
+            ..eval_run_config()
         }
     }
 }
@@ -128,14 +149,17 @@ pub fn run_three_settings(
     Vec<gofree::Report>,
     Vec<gofree::Report>,
 ) {
-    let mut out = Vec::new();
-    for setting in Setting::all() {
-        let compiled =
-            gofree::compile(source, &setting.compile_options()).expect("workload compiles");
-        let reports =
-            gofree::run_distribution(&compiled, setting, base, runs).expect("workload runs");
-        out.push(reports);
-    }
+    let compiled: Vec<(Compiled, Setting)> = Setting::all()
+        .into_iter()
+        .map(|setting| {
+            let c = gofree::compile(source, &setting.compile_options()).expect("workload compiles");
+            (c, setting)
+        })
+        .collect();
+    // One matrix call fans all (setting × run-index) cells across the
+    // worker pool instead of draining one setting at a time.
+    let cells: Vec<(&Compiled, Setting)> = compiled.iter().map(|(c, s)| (c, *s)).collect();
+    let mut out = gofree::run_matrix(&cells, base, runs).expect("workload runs");
     let gcoff = out.pop().expect("three settings");
     let gofree = out.pop().expect("three settings");
     let go = out.pop().expect("three settings");

@@ -3,7 +3,7 @@
 //! escape analysis and its graph, and profile allocation sites.
 //!
 //! ```text
-//! minigo run [--go] [--gcoff] [--seed N] <file>
+//! minigo run [--go] [--gcoff] [--seed N] [--jobs N] <file>
 //! minigo build [--go] <file>            # print the (instrumented) source
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -31,6 +31,8 @@ struct Cli {
     go_mode: bool,
     gcoff: bool,
     seed: u64,
+    jobs: usize,
+    runs: u64,
     func: Option<String>,
     file: Option<String>,
 }
@@ -40,6 +42,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         go_mode: false,
         gcoff: false,
         seed: 0,
+        jobs: gofree::default_jobs(),
+        runs: 1,
         func: None,
         file: None,
     };
@@ -54,6 +58,20 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?;
+            }
+            "--jobs" => {
+                cli.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs needs a positive number")?;
+            }
+            "--runs" => {
+                cli.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--runs needs a positive number")?;
             }
             "--func" => {
                 cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
@@ -98,9 +116,15 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             };
             let cfg = RunConfig {
                 seed: cli.seed,
+                jobs: cli.jobs,
                 ..RunConfig::default()
             };
-            let report = execute(&compiled, setting, &cfg).map_err(|e| e.to_string())?;
+            // `--runs N` executes a seeded distribution (fanned across
+            // `--jobs`/GOFREE_JOBS workers); the report of run 0 is
+            // printed either way, so output is runs/jobs-invariant.
+            let reports = gofree::run_distribution(&compiled, setting, &cfg, cli.runs)
+                .map_err(|e| e.to_string())?;
+            let report = &reports[0];
             print!("{}", report.output);
             eprintln!(
                 "[{setting}] time={} GCs={} alloced={}B freed={}B ({:.0}%) maxheap={}B",
@@ -111,6 +135,16 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 report.metrics.free_ratio() * 100.0,
                 report.metrics.maxheap,
             );
+            if cli.runs > 1 {
+                let times: Vec<u64> = reports.iter().map(|r| r.time).collect();
+                eprintln!(
+                    "[{setting}] {} runs (jobs={}): time min={} max={}",
+                    cli.runs,
+                    cli.jobs,
+                    times.iter().min().unwrap(),
+                    times.iter().max().unwrap(),
+                );
+            }
             Ok(())
         }
         "build" => {
@@ -179,7 +213,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] [--func NAME] <file>"
+    "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
+     [--runs N] [--jobs N] [--func NAME] <file>"
         .to_string()
 }
 

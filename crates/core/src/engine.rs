@@ -107,6 +107,13 @@ pub struct RunConfig {
     pub step_limit: u64,
     /// Which VM engine executes the program.
     pub engine: VmEngine,
+    /// Worker threads for [`run_distribution`]/[`run_matrix`] fan-out
+    /// (1 = sequential). Every observable — outputs, virtual times,
+    /// metrics, site profiles — is invariant under `jobs`: per-run seeds
+    /// are derived from the run index ([`run_seed`]) and reports merge
+    /// back in run-index order, so parallel reports are bit-identical to
+    /// sequential ones (tests/parallel.rs enforces this).
+    pub jobs: usize,
 }
 
 impl Default for RunConfig {
@@ -120,6 +127,7 @@ impl Default for RunConfig {
             poison: PoisonMode::Off,
             step_limit: 500_000_000,
             engine: VmEngine::default(),
+            jobs: default_jobs(),
         }
     }
 }
@@ -135,6 +143,26 @@ impl RunConfig {
             ..RunConfig::default()
         }
     }
+}
+
+/// The default worker count: `GOFREE_JOBS` when set to a positive
+/// integer, else 1 (sequential). CLI `--jobs` flags override this.
+pub fn default_jobs() -> usize {
+    std::env::var("GOFREE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Derives run `index`'s RNG seed from a distribution's base seed.
+///
+/// The golden-ratio stride decorrelates consecutive runs' RNG streams
+/// while keeping the derivation a pure function of `(base, index)` —
+/// the property that lets the parallel harness execute runs on any
+/// worker in any order and still produce bit-identical reports.
+pub fn run_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index.wrapping_mul(0x9E37_79B9))
 }
 
 /// A single run's report (table 5's metrics).
@@ -193,24 +221,111 @@ pub fn compile_and_run(
 }
 
 /// Runs `n` seeded executions of a compiled program (fig. 11's
-/// distributions and table 7's 99-run samples).
+/// distributions and table 7's 99-run samples), fanning runs across
+/// `base.jobs` worker threads.
 ///
 /// # Errors
 ///
-/// Propagates the first VM error.
+/// Propagates the first VM error (by run index, matching the sequential
+/// path).
 pub fn run_distribution(
     compiled: &Compiled,
     setting: Setting,
     base: &RunConfig,
     n: u64,
 ) -> Result<Vec<Report>, ExecError> {
-    (0..n)
-        .map(|i| {
-            let cfg = RunConfig {
-                seed: base.seed.wrapping_add(i * 0x9E37_79B9),
-                ..base.clone()
-            };
-            execute(compiled, setting, &cfg)
+    let mut rows = run_matrix(&[(compiled, setting)], base, n)?;
+    Ok(rows.pop().expect("one cell row"))
+}
+
+// The parallel harness shares compiled programs and run configurations
+// across worker threads by reference; keep them free of thread-bound
+// state (enforced here at compile time).
+const _: fn() = || {
+    fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Compiled>();
+    assert_sync_send::<RunConfig>();
+    assert_sync_send::<Report>();
+    assert_sync_send::<ExecError>();
+};
+
+/// Runs every `(cell, run-index)` combination of an experiment matrix —
+/// `cells` are (compiled workload, setting) pairs — and returns one
+/// report vector per cell, in cell order, each in run-index order.
+///
+/// With `base.jobs > 1` the cells' runs are fanned across a scoped
+/// worker pool (plain `std::thread`, no external crates). Each run owns
+/// its virtual clock, RNG stream, and simulated heap, and its seed is a
+/// pure function of the run index ([`run_seed`]), so the merged result
+/// is bit-identical to sequential execution regardless of worker count
+/// or scheduling order.
+///
+/// # Errors
+///
+/// Propagates the first VM error in (cell, run-index) order — the same
+/// error the sequential path would return.
+pub fn run_matrix(
+    cells: &[(&Compiled, Setting)],
+    base: &RunConfig,
+    runs: u64,
+) -> Result<Vec<Vec<Report>>, ExecError> {
+    let total = cells.len() as u64 * runs;
+    let jobs = base.jobs.clamp(1, total.max(1) as usize);
+    let run_one = |cell: usize, run: u64| {
+        let (compiled, setting) = cells[cell];
+        let cfg = RunConfig {
+            seed: run_seed(base.seed, run),
+            ..base.clone()
+        };
+        execute(compiled, setting, &cfg)
+    };
+    if jobs <= 1 {
+        return cells
+            .iter()
+            .enumerate()
+            .map(|(c, _)| (0..runs).map(|i| run_one(c, i)).collect())
+            .collect();
+    }
+
+    // Work-stealing fan-out: a shared atomic cursor hands out global
+    // (cell-major) run indices; workers stash `(cell, run, result)`
+    // triples and the merge scatters them back into run-index order.
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let mut slots: Vec<Vec<Option<Result<Report, ExecError>>>> = cells
+        .iter()
+        .map(|_| (0..runs).map(|_| None).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if g >= total {
+                            break;
+                        }
+                        let (cell, run) = ((g / runs) as usize, g % runs);
+                        done.push((cell, run as usize, run_one(cell, run)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (cell, run, report) in worker.join().expect("worker thread panicked") {
+                slots[cell][run] = Some(report);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|r| r.expect("all runs executed"))
+                .collect()
         })
         .collect()
 }
@@ -261,6 +376,56 @@ mod tests {
         let outputs: std::collections::HashSet<&str> =
             reports.iter().map(|r| r.output.as_str()).collect();
         assert_eq!(outputs.len(), 1);
+    }
+
+    #[test]
+    fn parallel_distribution_matches_sequential() {
+        let compiled = compile(SRC, &CompileOptions::default()).unwrap();
+        let base = RunConfig {
+            jitter: 0.05,
+            jobs: 1,
+            ..RunConfig::default()
+        };
+        let seq = run_distribution(&compiled, Setting::GoFree, &base, 8).unwrap();
+        let par = run_distribution(
+            &compiled,
+            Setting::GoFree,
+            &RunConfig { jobs: 4, ..base },
+            8,
+        )
+        .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.output, p.output);
+            assert_eq!(s.time, p.time);
+            assert_eq!(s.steps, p.steps);
+            assert_eq!(format!("{:?}", s.metrics), format!("{:?}", p.metrics));
+            assert_eq!(s.site_profile, p.site_profile);
+        }
+    }
+
+    #[test]
+    fn run_matrix_matches_per_cell_distributions() {
+        let go = compile(SRC, &CompileOptions::go()).unwrap();
+        let gofree = compile(SRC, &CompileOptions::default()).unwrap();
+        let base = RunConfig {
+            jobs: 3,
+            ..RunConfig::default()
+        };
+        let rows = run_matrix(&[(&go, Setting::Go), (&gofree, Setting::GoFree)], &base, 4).unwrap();
+        assert_eq!(rows.len(), 2);
+        let solo = run_distribution(&gofree, Setting::GoFree, &base, 4).unwrap();
+        for (a, b) in rows[1].iter().zip(&solo) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn run_seed_is_pure_and_strided() {
+        assert_eq!(run_seed(7, 0), 7);
+        assert_eq!(run_seed(7, 3), run_seed(7, 3));
+        assert_ne!(run_seed(7, 1), run_seed(7, 2));
     }
 
     #[test]

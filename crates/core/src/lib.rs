@@ -27,7 +27,8 @@ pub mod pipeline;
 pub mod stats;
 
 pub use engine::{
-    compile_and_run, execute, run_distribution, Report, RunConfig, Setting, VmEngine,
+    compile_and_run, default_jobs, execute, run_distribution, run_matrix, run_seed, Report,
+    RunConfig, Setting, VmEngine,
 };
 pub use experiment::{
     distribution, fig10_point, table7_row, table8_row, table9_row, Distribution, Fig10Point,

@@ -24,6 +24,26 @@ pub fn class_count() -> usize {
     SIZE_CLASSES.len()
 }
 
+/// Precomputed size→class map so the allocation fast path is a single
+/// table load instead of a binary search (Go keeps the same table as
+/// `size_to_class8`/`size_to_class128`). Entry `s` is the smallest class
+/// whose slot size is `>= s`.
+static CLASS_TABLE: [u8; (MAX_SMALL_SIZE + 1) as usize] = build_class_table();
+
+const fn build_class_table() -> [u8; (MAX_SMALL_SIZE + 1) as usize] {
+    let mut table = [0u8; (MAX_SMALL_SIZE + 1) as usize];
+    let mut class = 0;
+    let mut size = 0;
+    while size <= MAX_SMALL_SIZE {
+        if size > SIZE_CLASSES[class] {
+            class += 1;
+        }
+        table[size as usize] = class as u8;
+        size += 1;
+    }
+    table
+}
+
 /// The smallest class index whose slot size fits `size`.
 ///
 /// # Panics
@@ -34,10 +54,7 @@ pub fn class_for(size: u64) -> usize {
         size <= MAX_SMALL_SIZE,
         "size {size} exceeds the largest small class"
     );
-    match SIZE_CLASSES.binary_search(&size.max(8)) {
-        Ok(i) => i,
-        Err(i) => i,
-    }
+    CLASS_TABLE[size as usize] as usize
 }
 
 /// Slot size of a class.
@@ -88,6 +105,17 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn class_for_rejects_large() {
         class_for(MAX_SMALL_SIZE + 1);
+    }
+
+    #[test]
+    fn class_table_matches_binary_search() {
+        for size in 0..=MAX_SMALL_SIZE {
+            let expected = match SIZE_CLASSES.binary_search(&size.max(8)) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            assert_eq!(class_for(size), expected, "size {size}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::rc::Rc;
 use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime};
 use minigo_syntax::Builtin;
 
-use super::ir::{BFunc, Instr, Module};
+use super::ir::{BFunc, Const, Instr, Module};
 use crate::error::ExecError;
 use crate::interp::{binop_rt, check_poison, mark_value, value_eq};
 use crate::interp::{Result, RunOutcome, SiteProfile, VmConfig};
@@ -36,7 +36,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
     if module.main == usize::MAX {
         return Err(ExecError::NoMain);
     }
-    let mut vm = BVm::new(cfg);
+    let mut vm = BVm::new(cfg, &module.consts);
     vm.run_function(module, module.main, Vec::new())?;
     vm.rt.finalize();
     let mut site_profile: Vec<SiteProfile> = vm
@@ -80,6 +80,10 @@ struct BFrame {
 
 struct BVm {
     cfg: VmConfig,
+    /// Per-run materialization of the module's (thread-shared) constant
+    /// pool; entries are cloned onto the operand stack so string payloads
+    /// are `Rc`-shared within the run, as with the old `Value` pool.
+    consts: Vec<Value>,
     rt: Runtime,
     objects: HashMap<ObjId, ObjAddr>,
     addr_map: HashMap<ObjAddr, ObjId>,
@@ -107,10 +111,11 @@ fn expected_int(v: &Value) -> ExecError {
 }
 
 impl BVm {
-    fn new(cfg: VmConfig) -> Self {
+    fn new(cfg: VmConfig, consts: &[Const]) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
         BVm {
             cfg,
+            consts: consts.iter().map(Const::to_value).collect(),
             rt,
             objects: HashMap::new(),
             addr_map: HashMap::new(),
@@ -235,7 +240,7 @@ impl BVm {
         }
         for &(slot, boxed, zero) in &f.results {
             let zero = zero.ok_or_else(|| ExecError::Internal("untyped result".into()))?;
-            slots[slot as usize] = bslot(m.consts[zero as usize].clone(), boxed);
+            slots[slot as usize] = bslot(self.consts[zero as usize].clone(), boxed);
         }
         self.frames.push(BFrame {
             slots,
@@ -391,9 +396,9 @@ impl BVm {
                 }
                 Instr::Const(c) => {
                     self.rt.tick(1);
-                    stack.push(m.consts[*c as usize].clone());
+                    stack.push(self.consts[*c as usize].clone());
                 }
-                Instr::ConstRaw(c) => stack.push(m.consts[*c as usize].clone()),
+                Instr::ConstRaw(c) => stack.push(self.consts[*c as usize].clone()),
                 Instr::LoadSlot(s) => {
                     self.rt.tick(1);
                     let frame = self.frames.last().expect("in a frame");
@@ -713,7 +718,7 @@ impl BVm {
                         self.rt.metrics_mut().record_stack_alloc(Category::Slice);
                         None
                     };
-                    let zero = m.consts[*zero as usize].clone();
+                    let zero = self.consts[*zero as usize].clone();
                     stack.push(Value::Slice(SliceVal {
                         cells: Rc::new(RefCell::new(vec![zero; cap])),
                         obj,
@@ -745,7 +750,7 @@ impl BVm {
                             index: HashMap::new(),
                             buckets_obj: None,
                             bucket_cap: 8,
-                            default: m.consts[*default as usize].clone(),
+                            default: self.consts[*default as usize].clone(),
                             entry_size: *entry_size,
                             origin: Some(*site),
                             poisoned: false,
@@ -767,7 +772,7 @@ impl BVm {
                         None
                     };
                     stack.push(Value::Ptr(PtrVal {
-                        cell: Rc::new(RefCell::new(m.consts[*zero as usize].clone())),
+                        cell: Rc::new(RefCell::new(self.consts[*zero as usize].clone())),
                         obj,
                     }));
                 }

@@ -15,11 +15,21 @@
 //! depends only on the allocation/free/safepoint sequence and on total
 //! charged ticks — so the two engines produce identical outcomes.
 
+use std::sync::Arc;
+
 use minigo_syntax::{BinOp, Builtin, ExprId};
 
 use crate::value::Value;
 
 /// A lowered program: all functions plus the shared constant pool.
+///
+/// A `Module` is deliberately `Send + Sync` (statically asserted below):
+/// the parallel experiment harness shares one compiled module across
+/// worker threads by reference, so nothing in the IR may hold
+/// thread-bound state. That is why the constant pool stores [`Const`]
+/// (with `Arc<str>` strings) rather than runtime [`Value`]s (with
+/// `Rc<str>`); each run materializes thread-local `Value`s from the pool
+/// at VM startup.
 #[derive(Debug, Clone)]
 pub struct Module {
     /// Functions, indexed by `FuncId::index()`.
@@ -27,14 +37,57 @@ pub struct Module {
     /// Index of `main` in `funcs`.
     pub main: usize,
     /// The constant pool. Holds literals and statically computed zero
-    /// values; entries are cloned onto the operand stack.
-    pub consts: Vec<Value>,
+    /// values; the engine materializes them into per-run [`Value`]s that
+    /// are cloned onto the operand stack.
+    pub consts: Vec<Const>,
 }
 
 impl Module {
     /// Total number of instructions across all functions.
     pub fn instr_count(&self) -> usize {
         self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+// A compiled module must remain shareable across the parallel harness's
+// worker threads; adding an `Rc`/`RefCell` anywhere in the IR breaks
+// this at compile time rather than at run time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Module>();
+};
+
+/// A constant-pool entry: the thread-shareable (`Send + Sync`) subset of
+/// [`Value`] the lowering can produce — literals and statically computed
+/// zero values. Reference-typed zeros are `Nil`, so slices/maps/pointers
+/// never appear here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer literal or zero.
+    Int(i64),
+    /// Boolean literal or zero.
+    Bool(bool),
+    /// String literal or the empty-string zero.
+    Str(Arc<str>),
+    /// Zero value of pointer/slice/map types.
+    Nil,
+    /// Struct zero value: field zeros in declaration order.
+    Struct(Vec<Const>),
+}
+
+impl Const {
+    /// Materializes the per-run runtime [`Value`] for this constant.
+    /// Called once per constant per run (the engine keeps the result and
+    /// clones it onto the operand stack), so per-run `Rc` sharing of
+    /// string payloads matches the previous `Value`-pool behaviour.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Const::Int(i) => Value::Int(*i),
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Str(s) => Value::Str(std::rc::Rc::from(&**s)),
+            Const::Nil => Value::Nil,
+            Const::Struct(fields) => Value::Struct(fields.iter().map(Const::to_value).collect()),
+        }
     }
 }
 

@@ -21,9 +21,8 @@ use minigo_syntax::{
     TypeInfo, UnOp, VarId,
 };
 
-use super::ir::{BFunc, Instr, Module};
+use super::ir::{BFunc, Const, Instr, Module};
 use crate::interp::collect_addr_taken_block;
-use crate::value::Value;
 
 /// Lowers a checked (and, in GoFree mode, instrumented) program to
 /// bytecode. Never fails: see the module docs.
@@ -47,7 +46,7 @@ pub fn lower(program: &Program, res: &Resolution, types: &TypeInfo, analysis: &A
 
 #[derive(Default)]
 struct ConstPool {
-    pool: Vec<Value>,
+    pool: Vec<Const>,
     scalars: HashMap<ScalarKey, u32>,
 }
 
@@ -60,12 +59,12 @@ enum ScalarKey {
 }
 
 impl ConstPool {
-    fn add(&mut self, v: Value) -> u32 {
+    fn add(&mut self, v: Const) -> u32 {
         let key = match &v {
-            Value::Int(i) => Some(ScalarKey::Int(*i)),
-            Value::Bool(b) => Some(ScalarKey::Bool(*b)),
-            Value::Str(s) => Some(ScalarKey::Str(s.to_string())),
-            Value::Nil => Some(ScalarKey::Nil),
+            Const::Int(i) => Some(ScalarKey::Int(*i)),
+            Const::Bool(b) => Some(ScalarKey::Bool(*b)),
+            Const::Str(s) => Some(ScalarKey::Str(s.to_string())),
+            Const::Nil => Some(ScalarKey::Nil),
             _ => None,
         };
         if let Some(key) = key {
@@ -146,15 +145,15 @@ fn lower_func(
 
 /// Computes a type's zero value, mirroring the tree-walk's
 /// `Vm::zero_value`.
-fn zero_value(ty: &Type, types: &TypeInfo) -> Value {
+fn zero_value(ty: &Type, types: &TypeInfo) -> Const {
     match ty {
-        Type::Int => Value::Int(0),
-        Type::Bool => Value::Bool(false),
-        Type::Str => Value::Str(std::rc::Rc::from("")),
-        Type::Ptr(_) | Type::Slice(_) | Type::Map(_, _) => Value::Nil,
+        Type::Int => Const::Int(0),
+        Type::Bool => Const::Bool(false),
+        Type::Str => Const::Str(std::sync::Arc::from("")),
+        Type::Ptr(_) | Type::Slice(_) | Type::Map(_, _) => Const::Nil,
         Type::Named(name) => {
             let fields = types.fields_of(name).map(<[_]>::to_vec).unwrap_or_default();
-            Value::Struct(fields.iter().map(|(_, t)| zero_value(t, types)).collect())
+            Const::Struct(fields.iter().map(|(_, t)| zero_value(t, types)).collect())
         }
     }
 }
@@ -201,7 +200,7 @@ impl<'a> FnLowerer<'a> {
         self.slot_of[&var]
     }
 
-    fn intern(&mut self, v: Value) -> u32 {
+    fn intern(&mut self, v: Const) -> u32 {
         self.consts.add(v)
     }
 
@@ -535,19 +534,19 @@ impl<'a> FnLowerer<'a> {
     fn lower_expr(&mut self, e: &Expr) {
         match &e.kind {
             ExprKind::IntLit(v) => {
-                let c = self.intern(Value::Int(*v));
+                let c = self.intern(Const::Int(*v));
                 self.emit(Instr::Const(c));
             }
             ExprKind::BoolLit(b) => {
-                let c = self.intern(Value::Bool(*b));
+                let c = self.intern(Const::Bool(*b));
                 self.emit(Instr::Const(c));
             }
             ExprKind::StrLit(s) => {
-                let c = self.intern(Value::Str(std::rc::Rc::from(s.as_str())));
+                let c = self.intern(Const::Str(std::sync::Arc::from(s.as_str())));
                 self.emit(Instr::Const(c));
             }
             ExprKind::Nil => {
-                let c = self.intern(Value::Nil);
+                let c = self.intern(Const::Nil);
                 self.emit(Instr::Const(c));
             }
             ExprKind::Ident(_) => match self.res.def_of(e.id) {
@@ -619,7 +618,7 @@ impl<'a> FnLowerer<'a> {
                 match lo {
                     Some(lo) => self.lower_expr(lo),
                     None => {
-                        let c = self.intern(Value::Int(0));
+                        let c = self.intern(Const::Int(0));
                         self.emit(Instr::ConstRaw(c));
                     }
                 }

@@ -13,7 +13,7 @@ mod ir;
 mod lower;
 
 pub use exec::run_module;
-pub use ir::{BFunc, Instr, Module};
+pub use ir::{BFunc, Const, Instr, Module};
 pub use lower::lower;
 
 use minigo_escape::Analysis;

@@ -29,7 +29,7 @@ pub mod error;
 pub mod interp;
 pub mod value;
 
-pub use bytecode::{lower, run_module, Module};
+pub use bytecode::{lower, run_module, Const, Module};
 pub use error::ExecError;
 pub use interp::{run, RunOutcome, SiteProfile, VmConfig};
 pub use value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};

@@ -2,18 +2,33 @@
 # Regenerates every experiment in the paper's evaluation (plus the
 # extension studies) into results/. Takes ~15 minutes at full scale;
 # pass --quick to smoke-test in under a minute.
+#
+# Runs fan out across JOBS worker threads (default: all host cores, or
+# GOFREE_JOBS); reported numbers are identical for any value
+# (tests/parallel.rs), only wall-clock changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ARGS=("$@")
+CORES="$(nproc 2>/dev/null || echo 1)"
+JOBS="${GOFREE_JOBS:-$CORES}"
+HEADER="# host: $CORES core(s), jobs=$JOBS"
 cargo build --workspace --release
 mkdir -p results
 for bin in table3 table7 table8 table9 fig10 fig11 compile_speed \
            robustness ablation inlining batching gogc_sweep summary fuzz; do
   echo "== $bin =="
-  cargo run --release -q -p gofree-bench --bin "$bin" -- "${ARGS[@]}" \
-    | tee "results/$bin.txt"
+  { echo "$HEADER"
+    cargo run --release -q -p gofree-bench --bin "$bin" -- \
+      --jobs "$JOBS" "${ARGS[@]}"
+  } | tee "results/$bin.txt"
 done
 echo "== engines =="
-cargo run --release -q -p gofree-bench --bin engines -- "${ARGS[@]}" \
-  | tee results/vm_engines.txt
+{ echo "$HEADER"
+  cargo run --release -q -p gofree-bench --bin engines -- \
+    --jobs "$JOBS" "${ARGS[@]}"
+} | tee results/vm_engines.txt
+echo "== parallel_harness =="
+{ echo "$HEADER"
+  cargo run --release -q -p gofree-bench --bin parallel_harness -- "${ARGS[@]}"
+} | tee results/parallel_harness.txt
 echo "All experiments regenerated into results/."

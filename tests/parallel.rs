@@ -1,0 +1,130 @@
+//! Determinism tests for the parallel run harness: fanning a run
+//! distribution across worker threads must be observationally invisible.
+//! Every report field — program output, virtual time, step count,
+//! runtime metrics, per-site allocation profiles — and every error must
+//! be bit-identical between `jobs = 1` (sequential) and `jobs = 4`,
+//! because per-run seeds derive purely from the run index and reports
+//! merge back in run-index order.
+
+use gofree::{
+    compile, run_distribution, run_matrix, CompileOptions, Compiled, Report, RunConfig, Setting,
+};
+use gofree_workloads::{fuzzgen, Scale};
+
+const RUNS: u64 = 6;
+
+/// Asserts two report vectors are bit-identical in every observable.
+fn assert_reports_identical(label: &str, seq: &[Report], par: &[Report]) {
+    assert_eq!(seq.len(), par.len(), "{label}: run count");
+    for (i, (s, p)) in seq.iter().zip(par).enumerate() {
+        assert_eq!(s.output, p.output, "{label} run {i}: output");
+        assert_eq!(s.time, p.time, "{label} run {i}: virtual time");
+        assert_eq!(s.steps, p.steps, "{label} run {i}: steps");
+        assert_eq!(
+            format!("{:?}", s.metrics),
+            format!("{:?}", p.metrics),
+            "{label} run {i}: metrics"
+        );
+        assert_eq!(
+            s.site_profile, p.site_profile,
+            "{label} run {i}: site profile"
+        );
+    }
+}
+
+/// Runs the full three-setting distribution of `src` sequentially and at
+/// `jobs = 4` and asserts bit-identity per setting.
+fn check_source(label: &str, src: &str, base: &RunConfig) {
+    let compiled: Vec<(Compiled, Setting)> = Setting::all()
+        .into_iter()
+        .map(|setting| {
+            let c = compile(src, &setting.compile_options())
+                .unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+            (c, setting)
+        })
+        .collect();
+    let cells: Vec<(&Compiled, Setting)> = compiled.iter().map(|(c, s)| (c, *s)).collect();
+    let with_jobs = |jobs: usize| RunConfig {
+        jobs,
+        ..base.clone()
+    };
+    let seq = run_matrix(&cells, &with_jobs(1), RUNS)
+        .unwrap_or_else(|e| panic!("{label}: sequential matrix: {e}"));
+    let par = run_matrix(&cells, &with_jobs(4), RUNS)
+        .unwrap_or_else(|e| panic!("{label}: parallel matrix: {e}"));
+    for ((s, p), (_, setting)) in seq.iter().zip(&par).zip(&compiled) {
+        assert_reports_identical(&format!("{label} ({setting})"), s, p);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_workload_corpus() {
+    for w in gofree_workloads::all(Scale::Test) {
+        check_source(w.name, &w.source, &RunConfig::deterministic(13));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_with_jitter_and_migrations() {
+    // Jitter and scheduler migrations draw from the per-run RNG; the
+    // parallel path must hand each run index exactly the seed the
+    // sequential path would, so even noisy configurations are
+    // jobs-invariant.
+    let cfg = RunConfig {
+        seed: 0xC0FF_EE00,
+        jitter: 0.05,
+        migrate_prob: 0.01,
+        ..RunConfig::default()
+    };
+    for w in gofree_workloads::all(Scale::Test) {
+        check_source(w.name, &w.source, &cfg);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_fuzzed_programs() {
+    // Fuzzed programs may legitimately fail at run time (bounds, nil);
+    // the parallel path must then surface the identical first-by-index
+    // error the sequential path does.
+    for seed in 0..20 {
+        let src = fuzzgen::generate(seed);
+        let label = format!("fuzz seed={seed}");
+        let compiled = compile(&src, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{label}: {}", e.render(&src)));
+        let run = |jobs: usize| {
+            let cfg = RunConfig {
+                jobs,
+                ..RunConfig::deterministic(17)
+            };
+            run_distribution(&compiled, Setting::GoFree, &cfg, RUNS)
+        };
+        match (run(1), run(4)) {
+            (Ok(seq), Ok(par)) => assert_reports_identical(&label, &seq, &par),
+            (Err(e_seq), Err(e_par)) => assert_eq!(
+                e_seq.to_string(),
+                e_par.to_string(),
+                "{label}: error mismatch"
+            ),
+            (seq, par) => panic!(
+                "{label}: sequential {:?} vs parallel {:?} disagree on success",
+                seq.map(|r| r.len()),
+                par.map(|r| r.len())
+            ),
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_jobs_are_clamped_and_identical() {
+    // More workers than (settings × runs) cells must not change anything.
+    let w = gofree_workloads::by_name("json", Scale::Test).expect("json workload");
+    let compiled = compile(&w.source, &CompileOptions::default()).expect("compiles");
+    let run = |jobs: usize| {
+        let cfg = RunConfig {
+            jobs,
+            ..RunConfig::deterministic(23)
+        };
+        run_distribution(&compiled, Setting::GoFree, &cfg, 3).expect("runs")
+    };
+    assert_reports_identical("jobs=64", &run(1), &run(64));
+}
