@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod audit;
 pub mod baseline;
 pub mod build;
 pub mod callgraph;
@@ -50,6 +51,7 @@ pub mod summary;
 pub use analyze::{
     analyze, AllocPlace, Analysis, AnalysisStats, AnalyzeOptions, FreeTargets, Mode,
 };
+pub use audit::{audit, strip_unproven, AuditMode, AuditReport, AuditSite, AuditVerdict};
 pub use build::{build_func_graph, AllocSite, BuildOptions, FuncGraph};
 pub use callgraph::CallGraph;
 pub use graph::{AllocKind, ContentOrigin, Edge, EscapeGraph, LocId, LocKind, Location, HEAP_LOC};

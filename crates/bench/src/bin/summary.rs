@@ -2,7 +2,7 @@
 //! and prints the paper-vs-measured verdicts. Useful as a smoke test of
 //! the whole artifact (`--runs`/`--quick` apply).
 
-use gofree::{compile, table7_row, table9_row, Setting};
+use gofree::{compile, execute, table7_row, table9_row, AuditMode, CompileOptions, Setting};
 use gofree_bench::{pct, run_three_settings, HarnessOptions};
 
 fn main() {
@@ -61,6 +61,27 @@ fn main() {
     );
     assert!(avg(&gcs) < 1.0, "GoFree must reduce collections");
     assert!(avg(&free) > 0.05, "GoFree must reclaim a real fraction");
+
+    // Free-safety audit: recompile every workload under `--audit deny`
+    // and report, via the run metric, how much reclamation the auditor
+    // refused to prove. A healthy artifact suppresses nothing.
+    let deny = CompileOptions {
+        audit: AuditMode::Deny,
+        ..CompileOptions::default()
+    };
+    let mut audited_sites = 0usize;
+    let mut suppressed = 0u64;
+    for w in gofree_workloads::all(opts.scale()) {
+        let c = compile(&w.source, &deny).expect("workload compiles under deny");
+        audited_sites += c.audit.as_ref().expect("audit ran").sites.len();
+        let report = execute(&c, Setting::GoFree, &base).expect("audited workload runs");
+        suppressed += report.metrics.frees_suppressed;
+    }
+    println!(
+        "\naudit (deny): {suppressed} of {audited_sites} free sites suppressed across workloads \
+         (run `--bin audit` for the full sweep)"
+    );
+    assert_eq!(suppressed, 0, "the auditor must prove every workload free");
 
     // Table 3's precision ladder.
     let fig1 = "func fig1(c int, d int) *int { pc := &c\n pd := &d\n ppd := &pd\n *ppd = pc\n pd2 := *ppd\n return pd2 }\nfunc main() { x := 0\n x = x }\n";

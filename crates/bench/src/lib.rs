@@ -14,6 +14,7 @@
 //! | `compile_speed` | compilation-speed comparison (§6.7) |
 //! | `robustness` | mock-tcfree memory-corruption check (§6.8) |
 //! | `ablation` | design-choice ablations from DESIGN.md |
+//! | `audit` | free-safety audit + sanitizer sweep (DESIGN.md §8) |
 //!
 //! Criterion benches under `benches/` time the analyses and the runtime
 //! primitives themselves.

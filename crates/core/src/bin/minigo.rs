@@ -3,17 +3,24 @@
 //! escape analysis and its graph, and profile allocation sites.
 //!
 //! ```text
-//! minigo run [--go] [--gcoff] [--seed N] [--jobs N] <file>
-//! minigo build [--go] <file>            # print the (instrumented) source
+//! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--audit MODE]
+//!            [--sanitize] [--explain] <file>
+//! minigo build [--go] [--audit MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
 //! minigo profile <file>                 # top allocation sites
 //! ```
+//!
+//! `--audit {off,warn,deny}` runs the independent free-safety auditor
+//! over the instrumented program; `deny` strips unproven frees before
+//! execution. `--sanitize` runs the shadow-heap oracle and fails the
+//! command on any violation. `--explain` prints Go `-m`-style per-site
+//! allocation and free decisions.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use gofree::{compile, execute, CompileOptions, RunConfig, Setting};
+use gofree::{compile, execute, AuditMode, CompileOptions, RunConfig, Setting};
 use minigo_syntax::{Block, Expr, ExprId, ExprKind, Span, Stmt, StmtKind};
 
 fn main() -> ExitCode {
@@ -33,6 +40,9 @@ struct Cli {
     seed: u64,
     jobs: usize,
     runs: u64,
+    audit: AuditMode,
+    sanitize: bool,
+    explain: bool,
     func: Option<String>,
     file: Option<String>,
 }
@@ -44,6 +54,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         seed: 0,
         jobs: gofree::default_jobs(),
         runs: 1,
+        audit: AuditMode::Off,
+        sanitize: false,
+        explain: false,
         func: None,
         file: None,
     };
@@ -73,6 +86,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--runs needs a positive number")?;
             }
+            "--audit" => {
+                cli.audit = it
+                    .next()
+                    .ok_or("--audit needs off, warn, or deny")?
+                    .parse()?;
+            }
+            "--sanitize" => cli.sanitize = true,
+            "--explain" => cli.explain = true,
             "--func" => {
                 cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
             }
@@ -98,10 +119,14 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))
     };
     let options = |cli: &Cli| {
-        if cli.go_mode {
+        let base = if cli.go_mode {
             CompileOptions::go()
         } else {
             CompileOptions::default()
+        };
+        CompileOptions {
+            audit: cli.audit,
+            ..base
         }
     };
 
@@ -109,6 +134,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "run" => {
             let src = read(&cli)?;
             let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            if cli.explain {
+                explain_sites(&compiled, &src);
+            }
+            report_audit(&compiled, &src);
             let setting = match (cli.go_mode, cli.gcoff) {
                 (_, true) => Setting::GoGcOff,
                 (true, false) => Setting::Go,
@@ -117,6 +146,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let cfg = RunConfig {
                 seed: cli.seed,
                 jobs: cli.jobs,
+                sanitize: cli.sanitize,
                 ..RunConfig::default()
             };
             // `--runs N` executes a seeded distribution (fanned across
@@ -145,11 +175,28 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                     times.iter().max().unwrap(),
                 );
             }
+            if cli.sanitize {
+                let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+                if total > 0 {
+                    for v in reports.iter().flat_map(|r| &r.violations) {
+                        eprintln!("[sanitize] {v}");
+                    }
+                    return Err(format!(
+                        "sanitizer reported {total} violation(s) across {} run(s)",
+                        reports.len()
+                    ));
+                }
+                eprintln!("[sanitize] clean: no violations");
+            }
             Ok(())
         }
         "build" => {
             let src = read(&cli)?;
             let compiled = compile(&src, &options(&cli)).map_err(|e| e.render(&src))?;
+            if cli.explain {
+                explain_sites(&compiled, &src);
+            }
+            report_audit(&compiled, &src);
             print!("{}", compiled.instrumented_source());
             Ok(())
         }
@@ -214,8 +261,100 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
-     [--runs N] [--jobs N] [--func NAME] <file>"
+     [--runs N] [--jobs N] [--audit off|warn|deny] [--sanitize] [--explain] [--func NAME] <file>"
         .to_string()
+}
+
+/// Prints the free-safety audit report (when auditing ran) to stderr:
+/// the proof rate, and one line per unproven site with the auditor's
+/// reason.
+fn report_audit(compiled: &gofree::Compiled, src: &str) {
+    let Some(report) = &compiled.audit else {
+        return;
+    };
+    eprintln!(
+        "[audit] {}/{} free sites proved ({:.1}%){}",
+        report.proved(),
+        report.sites.len(),
+        report.proof_rate() * 100.0,
+        if compiled.frees_suppressed > 0 {
+            format!(", {} stripped under deny", compiled.frees_suppressed)
+        } else {
+            String::new()
+        }
+    );
+    for s in report.unproven() {
+        let loc = if s.span.is_empty() {
+            "<inserted>".to_string()
+        } else {
+            let (line, col) = s.span.line_col(src);
+            format!("{line}:{col}")
+        };
+        eprintln!(
+            "[audit] {loc}: {}({}) in {}: {}",
+            s.kind, s.target, s.func, s.verdict
+        );
+    }
+}
+
+/// Go `-m`-style per-site diagnostics: every allocation's stack-or-heap
+/// decision with the rule that fired, then every free site's audit
+/// verdict (the auditor's reason strings verbatim).
+fn explain_sites(compiled: &gofree::Compiled, src: &str) {
+    let spans = collect_spans(&compiled.program);
+    let max_stack = compiled.analysis.options.build.max_stack_bytes;
+    let mut lines: Vec<(u32, String)> = Vec::new();
+    for fg in compiled.analysis.funcs.values() {
+        for (expr, site) in &fg.alloc_sites {
+            let Some((span, what)) = spans.get(expr) else {
+                continue;
+            };
+            let (line, col) = span.line_col(src);
+            let rule = match (compiled.analysis.place_of(*expr), site.const_size) {
+                (minigo_escape::AllocPlace::Stack, _) => {
+                    "does not escape and has a constant size: stack allocated".to_string()
+                }
+                (_, None) => "non-constant size: heap allocated".to_string(),
+                (_, Some(sz)) if sz > max_stack => {
+                    format!(
+                        "constant size {sz}B exceeds the {max_stack}B stack cap: heap allocated"
+                    )
+                }
+                _ => "escapes: heap allocated".to_string(),
+            };
+            lines.push((span.start, format!("{line}:{col}: {what}: {rule}")));
+        }
+    }
+    // Free sites carry the independent auditor's verdicts; run it here if
+    // the pipeline did not (`--audit off`).
+    let fallback;
+    let report = match &compiled.audit {
+        Some(r) => r,
+        None => {
+            fallback =
+                minigo_escape::audit(&compiled.program, &compiled.resolution, &compiled.types);
+            &fallback
+        }
+    };
+    for s in &report.sites {
+        let (key, loc) = if s.span.is_empty() {
+            (u32::MAX, "<inserted>".to_string())
+        } else {
+            let (line, col) = s.span.line_col(src);
+            (s.span.start, format!("{line}:{col}"))
+        };
+        lines.push((
+            key,
+            format!(
+                "{loc}: {}({}) in {}: {}",
+                s.kind, s.target, s.func, s.verdict
+            ),
+        ));
+    }
+    lines.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    for (_, l) in lines {
+        eprintln!("{l}");
+    }
 }
 
 /// Explains, for every local of a freeable reference type, which of

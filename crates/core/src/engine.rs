@@ -107,6 +107,12 @@ pub struct RunConfig {
     pub step_limit: u64,
     /// Which VM engine executes the program.
     pub engine: VmEngine,
+    /// Run the shadow-heap sanitizer: every load, store, and free is
+    /// checked against an out-of-band shadow of the heap and violations
+    /// are reported in [`Report::violations`]. The rest of the report
+    /// (output, time, metrics, steps, site profile) is bit-identical with
+    /// the sanitizer on or off.
+    pub sanitize: bool,
     /// Worker threads for [`run_distribution`]/[`run_matrix`] fan-out
     /// (1 = sequential). Every observable — outputs, virtual times,
     /// metrics, site profiles — is invariant under `jobs`: per-run seeds
@@ -127,6 +133,7 @@ impl Default for RunConfig {
             poison: PoisonMode::Off,
             step_limit: 500_000_000,
             engine: VmEngine::default(),
+            sanitize: false,
             jobs: default_jobs(),
         }
     }
@@ -192,18 +199,23 @@ pub fn execute(
         runtime,
         step_limit: cfg.step_limit,
         grow_map_free_old: compiled.analysis.options.mode == Mode::GoFree,
+        sanitize: cfg.sanitize,
         ..VmConfig::default()
     };
-    match cfg.engine {
+    let mut report = match cfg.engine {
         VmEngine::TreeWalk => run(
             &compiled.program,
             &compiled.resolution,
             &compiled.types,
             &compiled.analysis,
             vm_cfg,
-        ),
-        VmEngine::Bytecode => minigo_vm::run_module(&compiled.lowered, vm_cfg),
-    }
+        )?,
+        VmEngine::Bytecode => minigo_vm::run_module(&compiled.lowered, vm_cfg)?,
+    };
+    // A compile-time fact, copied into every run's metrics so audited
+    // builds report how much reclamation `--audit deny` gave up.
+    report.metrics.frees_suppressed = compiled.frees_suppressed;
+    Ok(report)
 }
 
 /// Compiles and runs `src` under `setting` in one step.

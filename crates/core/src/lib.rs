@@ -38,6 +38,6 @@ pub use pipeline::{compile, CompileOptions, Compiled};
 pub use stats::{mean, stdev, welch_t_test, Welch};
 
 // Re-export the pieces callers commonly need alongside the facade.
-pub use minigo_escape::{FreeTargets, Mode};
-pub use minigo_runtime::{Category, FreeSource, PoisonMode};
+pub use minigo_escape::{AuditMode, AuditReport, AuditSite, AuditVerdict, FreeTargets, Mode};
+pub use minigo_runtime::{Category, FreeSource, PoisonMode, ShadowViolation, ViolationKind};
 pub use minigo_vm::ExecError;

@@ -1,7 +1,8 @@
 //! The compile pipeline: front end → escape analysis → instrumentation.
 
 use minigo_escape::{
-    analyze, inline_program, instrument, Analysis, AnalyzeOptions, FreeTargets, InlineOptions, Mode,
+    analyze, audit, inline_program, instrument, strip_unproven, Analysis, AnalyzeOptions,
+    AuditMode, AuditReport, FreeTargets, InlineOptions, Mode,
 };
 use minigo_syntax::{
     parse, print_program, resolve, typecheck, Diagnostic, Program, Resolution, TypeInfo,
@@ -23,6 +24,11 @@ pub struct CompileOptions {
     /// GoFree does not depend on inlining; the `inlining` experiment
     /// binary compares both compilers with and without it.
     pub inline: bool,
+    /// Free-safety auditing: re-derive a proof obligation for every
+    /// inserted free with an independent dataflow pass. `Warn` keeps
+    /// unproven frees (report only); `Deny` strips them from the program
+    /// before lowering.
+    pub audit: AuditMode,
 }
 
 impl Default for CompileOptions {
@@ -33,6 +39,7 @@ impl Default for CompileOptions {
             content_tags: true,
             back_propagation: true,
             inline: false,
+            audit: AuditMode::Off,
         }
     }
 }
@@ -71,6 +78,11 @@ pub struct Compiled {
     /// The program lowered to the slot-indexed bytecode IR (the default
     /// execution engine; the tree-walk ignores it).
     pub lowered: minigo_vm::Module,
+    /// The free-safety audit report, when auditing was requested.
+    pub audit: Option<AuditReport>,
+    /// Free sites stripped under [`AuditMode::Deny`] (copied into every
+    /// run's [`minigo_runtime::Metrics::frees_suppressed`]).
+    pub frees_suppressed: u64,
 }
 
 impl Compiled {
@@ -99,11 +111,24 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
     let mut resolution = resolve(&program)?;
     let types = typecheck(&program, &resolution)?;
     let analysis = analyze(&program, &resolution, &types, &opts.to_analyze_options());
-    let program = if opts.mode == Mode::GoFree {
+    let mut program = if opts.mode == Mode::GoFree {
         instrument(&program, &mut resolution, &analysis)
     } else {
         program
     };
+    // The audit is an independent second pass: it sees only the
+    // instrumented AST, never the escape graph that justified the frees.
+    let mut report = None;
+    let mut frees_suppressed = 0;
+    if opts.mode == Mode::GoFree && opts.audit != AuditMode::Off {
+        let r = audit(&program, &resolution, &types);
+        if opts.audit == AuditMode::Deny {
+            let (stripped, removed) = strip_unproven(&program, &r);
+            program = stripped;
+            frees_suppressed = removed;
+        }
+        report = Some(r);
+    }
     let lowered = minigo_vm::lower(&program, &resolution, &types, &analysis);
     Ok(Compiled {
         program,
@@ -111,6 +136,8 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
         types,
         analysis,
         lowered,
+        audit: report,
+        frees_suppressed,
     })
 }
 
@@ -137,5 +164,49 @@ mod tests {
     #[test]
     fn compile_errors_propagate() {
         assert!(compile("func f( {", &CompileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn audit_warn_proves_compiler_frees() {
+        let opts = CompileOptions {
+            audit: AuditMode::Warn,
+            ..CompileOptions::default()
+        };
+        let c = compile(SRC, &opts).unwrap();
+        let report = c.audit.as_ref().expect("audit ran");
+        assert!(report.proved() >= 1);
+        assert_eq!(report.unproven().count(), 0);
+        assert_eq!(c.frees_suppressed, 0);
+        assert!(c.instrumented_source().contains("tcfree(s)"));
+    }
+
+    #[test]
+    fn audit_deny_strips_unproven_hand_written_free() {
+        // A premature hand-written free the auditor must reject: `s` is
+        // read after `tcfree(s)`.
+        let buggy =
+            "func main() { n := 100\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n";
+        let opts = CompileOptions {
+            audit: AuditMode::Deny,
+            ..CompileOptions::default()
+        };
+        let c = compile(buggy, &opts).unwrap();
+        let report = c.audit.as_ref().expect("audit ran");
+        assert!(report.unproven().count() >= 1);
+        assert_eq!(c.frees_suppressed as usize, report.unproven().count());
+        // Only the proved sites survive (here: the compiler's own
+        // scope-end free, a tolerated double free after the hand-written
+        // one was stripped).
+        assert_eq!(
+            c.instrumented_source().matches("tcfree(s)").count(),
+            report.proved()
+        );
+    }
+
+    #[test]
+    fn audit_off_reports_nothing() {
+        let c = compile(SRC, &CompileOptions::default()).unwrap();
+        assert!(c.audit.is_none());
+        assert_eq!(c.frees_suppressed, 0);
     }
 }

@@ -31,6 +31,7 @@ pub mod heap;
 pub mod metrics;
 pub mod rng;
 pub mod runtime;
+pub mod shadow;
 pub mod sizeclass;
 
 pub use clock::{Clock, CostModel};
@@ -38,4 +39,5 @@ pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SpanId, SweepOutcome};
 pub use metrics::{BailReason, Category, FreeSource, Metrics};
 pub use rng::SimRng;
 pub use runtime::{FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
+pub use shadow::{FreeCheck, ShadowHeap, ShadowViolation, ViolationKind};
 pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};

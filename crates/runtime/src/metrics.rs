@@ -115,6 +115,11 @@ pub struct Metrics {
     /// Heap objects reclaimed by GC (or alive at exit), per category
     /// (table 8 "Heap GC" columns).
     pub heap_gced: [u64; 3],
+    /// `tcfree` sites the free-safety auditor could not prove and the
+    /// pipeline stripped under `--audit deny`. Set at compile time and
+    /// copied into every run's metrics so table 7/8 comparisons of
+    /// audited builds stay honest about suppressed reclamation.
+    pub frees_suppressed: u64,
 }
 
 impl Metrics {

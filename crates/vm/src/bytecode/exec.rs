@@ -16,12 +16,12 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime};
+use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime, ShadowHeap};
 use minigo_syntax::Builtin;
 
 use super::ir::{BFunc, Const, Instr, Module};
 use crate::error::ExecError;
-use crate::interp::{binop_rt, check_poison, mark_value, value_eq};
+use crate::interp::{binop_rt, check_poison, free_op_name, mark_value, value_eq};
 use crate::interp::{Result, RunOutcome, SiteProfile, VmConfig};
 use crate::value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};
 
@@ -45,12 +45,17 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
         .collect();
     site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+    let violations = match vm.shadow.as_mut() {
+        Some(sh) => sh.take_violations(),
+        None => Vec::new(),
+    };
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
         metrics: vm.rt.metrics().clone(),
         steps: vm.steps,
         site_profile,
+        violations,
     })
 }
 
@@ -90,6 +95,9 @@ struct BVm {
     next_obj: u64,
     frames: Vec<BFrame>,
     site_profile: HashMap<minigo_syntax::ExprId, (u64, u64)>,
+    /// The shadow-heap sanitizer, present when `cfg.sanitize` is on
+    /// (hooked at the same points as the tree-walk's).
+    shadow: Option<ShadowHeap>,
     output: String,
     steps: u64,
 }
@@ -113,6 +121,7 @@ fn expected_int(v: &Value) -> ExecError {
 impl BVm {
     fn new(cfg: VmConfig, consts: &[Const]) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
+        let shadow = cfg.sanitize.then(ShadowHeap::new);
         BVm {
             cfg,
             consts: consts.iter().map(Const::to_value).collect(),
@@ -122,6 +131,7 @@ impl BVm {
             next_obj: 0,
             frames: Vec::new(),
             site_profile: HashMap::new(),
+            shadow,
             output: String::new(),
             steps: 0,
         }
@@ -151,10 +161,16 @@ impl BVm {
         let id = ObjId(self.next_obj);
         self.next_obj += 1;
         self.objects.insert(id, addr);
+        if let Some(sh) = &mut self.shadow {
+            sh.on_alloc(id.0, addr);
+        }
         id
     }
 
     fn free_obj(&mut self, obj: ObjId, source: FreeSource, batched: bool) -> (FreeOutcome, bool) {
+        if let Some(sh) = &mut self.shadow {
+            sh.check_free(obj.0, free_op_name(source), self.steps);
+        }
         let Some(&addr) = self.objects.get(&obj) else {
             return (
                 FreeOutcome::Bailed(minigo_runtime::BailReason::AlreadyFree),
@@ -170,6 +186,9 @@ impl BVm {
             FreeOutcome::Freed { .. } => {
                 self.objects.remove(&obj);
                 self.addr_map.remove(&addr);
+                if let Some(sh) = &mut self.shadow {
+                    sh.on_free(obj.0, addr);
+                }
                 (out, false)
             }
             FreeOutcome::Poisoned => (out, true),
@@ -223,7 +242,26 @@ impl BVm {
         for (addr, _, _) in &swept.freed {
             if let Some(obj) = self.addr_map.remove(addr) {
                 self.objects.remove(&obj);
+                if let Some(sh) = &mut self.shadow {
+                    sh.on_sweep(obj.0);
+                }
             }
+        }
+    }
+
+    // ---- shadow-heap sanitizer hooks (mirror the tree-walk's) ----
+
+    fn shadow_access(&mut self, obj: Option<ObjId>, op: &'static str) {
+        if let (Some(sh), Some(obj)) = (self.shadow.as_mut(), obj) {
+            sh.check_access(obj.0, op, self.steps);
+        }
+    }
+
+    fn shadow_access_map(&mut self, m: &MapVal, op: &'static str) {
+        if self.shadow.is_some() {
+            let buckets = m.data.borrow().buckets_obj;
+            self.shadow_access(m.obj, op);
+            self.shadow_access(buckets, op);
         }
     }
 
@@ -515,6 +553,7 @@ impl BVm {
                     self.rt.tick(1);
                     match pop(&mut stack) {
                         Value::Ptr(p) => {
+                            self.shadow_access(p.obj, "pointer deref read");
                             let v = check_poison(p.cell.borrow().clone())?;
                             stack.push(v);
                         }
@@ -524,6 +563,7 @@ impl BVm {
                 }
                 Instr::DerefSet => match pop(&mut stack) {
                     Value::Ptr(p) => {
+                        self.shadow_access(p.obj, "pointer deref write");
                         let v = pop(&mut stack);
                         *p.cell.borrow_mut() = v;
                     }
@@ -535,6 +575,7 @@ impl BVm {
                     let fields = match (pop(&mut stack), through_ptr) {
                         (Value::Struct(fields), false) => fields,
                         (Value::Ptr(p), true) => {
+                            self.shadow_access(p.obj, "field read");
                             let inner = p.cell.borrow().clone();
                             match inner {
                                 Value::Struct(fields) => fields,
@@ -560,6 +601,7 @@ impl BVm {
                 },
                 Instr::FieldSetPtr { idx } => match pop(&mut stack) {
                     Value::Ptr(p) => {
+                        self.shadow_access(p.obj, "field write");
                         let v = pop(&mut stack);
                         let mut target = p.cell.borrow_mut();
                         match &mut *target {
@@ -593,6 +635,7 @@ impl BVm {
                                     len: s.len,
                                 });
                             }
+                            self.shadow_access(s.obj, "slice index read");
                             let v = s.cells.borrow()[s.offset + i as usize].clone();
                             stack.push(check_poison(v)?);
                         }
@@ -601,6 +644,7 @@ impl BVm {
                                 .as_key()
                                 .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
                             self.rt.tick(2);
+                            self.shadow_access_map(&map, "map lookup");
                             let data = map.data.borrow();
                             if data.poisoned {
                                 return Err(ExecError::PoisonedRead);
@@ -630,6 +674,7 @@ impl BVm {
                                     len: s.len,
                                 });
                             }
+                            self.shadow_access(s.obj, "slice index write");
                             s.cells.borrow_mut()[s.offset + i as usize] = v;
                         }
                         Value::Map(map) => {
@@ -816,6 +861,7 @@ impl BVm {
                             .as_key()
                             .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
                         self.rt.tick(2);
+                        self.shadow_access_map(&map, "map delete");
                         map.data.borrow_mut().remove(&key);
                     }
                     stack.push(Value::Int(0));
@@ -928,6 +974,7 @@ impl BVm {
                 }))
             }
             Value::Slice(mut s) => {
+                self.shadow_access(s.obj, "append");
                 if s.len < s.cap() {
                     let at = s.offset + s.len;
                     s.cells.borrow_mut()[at] = item;
@@ -956,6 +1003,7 @@ impl BVm {
 
     fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
         self.rt.tick(3);
+        self.shadow_access_map(m, "map insert");
         let (is_new, needs_growth) = {
             let data = m.data.borrow();
             if data.poisoned {

@@ -11,7 +11,9 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use minigo_escape::{AllocPlace, Analysis, Mode};
-use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime, RuntimeConfig};
+use minigo_runtime::{
+    Category, FreeOutcome, FreeSource, ObjAddr, Runtime, RuntimeConfig, ShadowHeap, ShadowViolation,
+};
 use minigo_syntax::{
     BinOp, Block, Builtin, Expr, ExprKind, Func, FuncId, Program, Resolution, Stmt, StmtKind, Type,
     TypeInfo, UnOp, VarId,
@@ -40,6 +42,12 @@ pub struct VmConfig {
     /// consecutive frees share one call overhead. Off by default, as in
     /// the paper.
     pub batch_frees: bool,
+    /// Run the shadow-heap sanitizer: check every load, store, and free
+    /// against an out-of-band shadow of the heap and report
+    /// use-after-free / use-after-revert / untolerated-double-free
+    /// violations in [`RunOutcome::violations`]. Has no effect on the
+    /// simulation itself (no ticks, no metrics, no RNG).
+    pub sanitize: bool,
 }
 
 impl Default for VmConfig {
@@ -50,6 +58,7 @@ impl Default for VmConfig {
             max_frames: 4096,
             grow_map_free_old: true,
             batch_frees: false,
+            sanitize: false,
         }
     }
 }
@@ -79,6 +88,11 @@ pub struct RunOutcome {
     /// Per-allocation-site profile, sorted by bytes descending (the
     /// paper's profiling-tool view of where heap memory comes from).
     pub site_profile: Vec<SiteProfile>,
+    /// Shadow-heap sanitizer findings (empty unless
+    /// [`VmConfig::sanitize`] was on). Carried out-of-band: `output`,
+    /// `time`, `metrics`, and `steps` are bit-identical with the
+    /// sanitizer on or off.
+    pub violations: Vec<ShadowViolation>,
 }
 
 /// The id type used for profile attribution (an expression id).
@@ -118,13 +132,29 @@ pub fn run(
         .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
         .collect();
     site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+    let violations = match vm.shadow.as_mut() {
+        Some(sh) => sh.take_violations(),
+        None => Vec::new(),
+    };
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
         metrics: vm.rt.metrics().clone(),
         steps: vm.steps,
         site_profile,
+        violations,
     })
+}
+
+/// The runtime entry point a [`FreeSource`] corresponds to (table 4) —
+/// used to label sanitizer findings.
+pub(crate) fn free_op_name(source: FreeSource) -> &'static str {
+    match source {
+        FreeSource::SliceLifetime => "FreeSlice",
+        FreeSource::MapLifetime => "FreeMap",
+        FreeSource::MapGrowOld => "GrowMapAndFreeOld",
+        FreeSource::Object => "Tcfree",
+    }
 }
 
 enum Flow {
@@ -174,6 +204,8 @@ struct Vm<'p> {
     /// Set while executing the 2nd..nth statement of a `tcfree` run with
     /// batching enabled: the call overhead was already charged.
     in_free_batch: bool,
+    /// The shadow-heap sanitizer, present when `cfg.sanitize` is on.
+    shadow: Option<ShadowHeap>,
     output: String,
     steps: u64,
 }
@@ -187,6 +219,7 @@ impl<'p> Vm<'p> {
         cfg: VmConfig,
     ) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
+        let shadow = cfg.sanitize.then(ShadowHeap::new);
         let mut addr_taken = HashMap::new();
         for func in &program.funcs {
             let mut set = HashSet::new();
@@ -207,6 +240,7 @@ impl<'p> Vm<'p> {
             addr_taken,
             site_profile: HashMap::new(),
             in_free_batch: false,
+            shadow,
             output: String::new(),
             steps: 0,
         }
@@ -237,12 +271,18 @@ impl<'p> Vm<'p> {
         let id = ObjId(self.next_obj);
         self.next_obj += 1;
         self.objects.insert(id, addr);
+        if let Some(sh) = &mut self.shadow {
+            sh.on_alloc(id.0, addr);
+        }
         id
     }
 
     /// Attempts a `tcfree` on an accounted object. Returns the outcome and
     /// whether the payload should be poisoned.
     fn free_obj(&mut self, obj: ObjId, source: FreeSource) -> (FreeOutcome, bool) {
+        if let Some(sh) = &mut self.shadow {
+            sh.check_free(obj.0, free_op_name(source), self.steps);
+        }
         let Some(&addr) = self.objects.get(&obj) else {
             // Already freed or swept: tolerated double free.
             return (
@@ -259,6 +299,9 @@ impl<'p> Vm<'p> {
             FreeOutcome::Freed { .. } => {
                 self.objects.remove(&obj);
                 self.addr_map.remove(&addr);
+                if let Some(sh) = &mut self.shadow {
+                    sh.on_free(obj.0, addr);
+                }
                 (out, false)
             }
             FreeOutcome::Poisoned => (out, true),
@@ -268,6 +311,27 @@ impl<'p> Vm<'p> {
 
     fn place_of(&self, expr: &Expr) -> AllocPlace {
         self.analysis.place_of(expr.id)
+    }
+
+    // ---- shadow-heap sanitizer hooks ----
+
+    /// Checks a load or store through `obj` against the shadow heap.
+    /// No-op when the sanitizer is off or the value is stack-allocated
+    /// (`obj` is `None`).
+    fn shadow_access(&mut self, obj: Option<ObjId>, op: &'static str) {
+        if let (Some(sh), Some(obj)) = (self.shadow.as_mut(), obj) {
+            sh.check_access(obj.0, op, self.steps);
+        }
+    }
+
+    /// Checks a map operation against the shadow heap: both the hmap
+    /// header object and the current bucket array are consulted.
+    fn shadow_access_map(&mut self, m: &MapVal, op: &'static str) {
+        if self.shadow.is_some() {
+            let buckets = m.data.borrow().buckets_obj;
+            self.shadow_access(m.obj, op);
+            self.shadow_access(buckets, op);
+        }
     }
 
     // ---- GC ----
@@ -315,6 +379,9 @@ impl<'p> Vm<'p> {
         for (addr, _, _) in &swept.freed {
             if let Some(obj) = self.addr_map.remove(addr) {
                 self.objects.remove(&obj);
+                if let Some(sh) = &mut self.shadow {
+                    sh.on_sweep(obj.0);
+                }
             }
         }
     }
@@ -762,7 +829,10 @@ impl<'p> Vm<'p> {
                 }
                 UnOp::Addr => self.addr_of(operand),
                 UnOp::Deref => match self.eval(operand)? {
-                    Value::Ptr(p) => check_poison(p.cell.borrow().clone()),
+                    Value::Ptr(p) => {
+                        self.shadow_access(p.obj, "pointer deref read");
+                        check_poison(p.cell.borrow().clone())
+                    }
                     Value::Nil => Err(ExecError::NilDeref),
                     _ => Err(ExecError::Internal("deref of non-pointer".into())),
                 },
@@ -788,6 +858,9 @@ impl<'p> Vm<'p> {
             },
             ExprKind::Field { base, name } => {
                 let bv = self.eval(base)?;
+                if let Value::Ptr(p) = &bv {
+                    self.shadow_access(p.obj, "field read");
+                }
                 let (sv, sname) = self.auto_deref_struct(bv, base)?;
                 let idx = self.field_index(&sname, name)?;
                 check_poison(sv[idx].clone())
@@ -803,6 +876,7 @@ impl<'p> Vm<'p> {
                                 len: s.len,
                             });
                         }
+                        self.shadow_access(s.obj, "slice index read");
                         check_poison(s.cells.borrow()[s.offset + i as usize].clone())
                     }
                     Value::Map(m) => {
@@ -811,6 +885,7 @@ impl<'p> Vm<'p> {
                             .as_key()
                             .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
                         self.rt.tick(2);
+                        self.shadow_access_map(&m, "map lookup");
                         let data = m.data.borrow();
                         if data.poisoned {
                             return Err(ExecError::PoisonedRead);
@@ -1018,6 +1093,7 @@ impl<'p> Vm<'p> {
                         .as_key()
                         .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
                     self.rt.tick(2);
+                    self.shadow_access_map(&m, "map delete");
                     m.data.borrow_mut().remove(&key);
                 }
                 Ok(Value::Int(0))
@@ -1124,6 +1200,7 @@ impl<'p> Vm<'p> {
                 }))
             }
             Value::Slice(mut s) => {
+                self.shadow_access(s.obj, "append");
                 if s.len < s.cap() {
                     let at = s.offset + s.len;
                     s.cells.borrow_mut()[at] = item;
@@ -1154,6 +1231,7 @@ impl<'p> Vm<'p> {
 
     fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
         self.rt.tick(3);
+        self.shadow_access_map(m, "map insert");
         let (is_new, needs_growth) = {
             let data = m.data.borrow();
             if data.poisoned {
@@ -1218,6 +1296,7 @@ impl<'p> Vm<'p> {
                 operand,
             } => match self.eval(operand)? {
                 Value::Ptr(p) => {
+                    self.shadow_access(p.obj, "pointer deref write");
                     *p.cell.borrow_mut() = value;
                     Ok(())
                 }
@@ -1229,6 +1308,7 @@ impl<'p> Vm<'p> {
                 match bv {
                     Value::Ptr(p) => {
                         // Through-pointer store: mutate in place.
+                        self.shadow_access(p.obj, "field write");
                         let sname = self.struct_name_of(base, true)?;
                         let idx = self.field_index(&sname, name)?;
                         let mut target = p.cell.borrow_mut();
@@ -1264,6 +1344,7 @@ impl<'p> Vm<'p> {
                                 len: s.len,
                             });
                         }
+                        self.shadow_access(s.obj, "slice index write");
                         s.cells.borrow_mut()[s.offset + i as usize] = value;
                         Ok(())
                     }
@@ -1866,6 +1947,66 @@ mod tests {
         };
         let err = run_src_with(src, AnalyzeOptions::go(), cfg).unwrap_err();
         assert_eq!(err, ExecError::PoisonedRead);
+    }
+
+    #[test]
+    fn sanitizer_flags_use_after_free() {
+        // The same unsound hand-written free, but caught by the shadow
+        // heap instead of poison: the run completes (the stale read sees
+        // the old bytes) and the violation is reported out-of-band.
+        let src =
+            "func main() { n := 100\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n";
+        let cfg = VmConfig {
+            runtime: RuntimeConfig {
+                migrate_prob: 0.0,
+                jitter: 0.0,
+                ..RuntimeConfig::default()
+            },
+            sanitize: true,
+            ..VmConfig::default()
+        };
+        let out = run_src_with(src, AnalyzeOptions::go(), cfg).unwrap();
+        assert_eq!(out.output, "7\n", "stale read still sees old bytes");
+        assert!(!out.violations.is_empty());
+        assert_eq!(
+            out.violations[0].kind,
+            minigo_runtime::ViolationKind::UseAfterFree
+        );
+        assert_eq!(out.violations[0].op, "slice index read");
+    }
+
+    #[test]
+    fn sanitizer_is_invisible_and_clean_on_sound_program() {
+        // Instrumented (sound) frees: zero violations, and the observable
+        // report is bit-identical with the sanitizer on or off.
+        let src = "func work(n int) int { s := make([]int, n)\n s[0] = n\n x := s[0]\n return x }\nfunc main() { total := 0\n for i := 0; i < 50; i += 1 { total += work(100 + i) }\n print(total) }\n";
+        let base = VmConfig {
+            runtime: RuntimeConfig {
+                migrate_prob: 0.0,
+                jitter: 0.0,
+                ..RuntimeConfig::default()
+            },
+            ..VmConfig::default()
+        };
+        let plain = run_src_with(src, AnalyzeOptions::default(), base.clone()).unwrap();
+        let sanitized = run_src_with(
+            src,
+            AnalyzeOptions::default(),
+            VmConfig {
+                sanitize: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(sanitized.violations.is_empty());
+        assert_eq!(plain.output, sanitized.output);
+        assert_eq!(plain.time, sanitized.time);
+        assert_eq!(plain.steps, sanitized.steps);
+        assert_eq!(
+            format!("{:?}", plain.metrics),
+            format!("{:?}", sanitized.metrics)
+        );
+        assert_eq!(plain.site_profile, sanitized.site_profile);
     }
 
     #[test]

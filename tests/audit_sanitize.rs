@@ -1,0 +1,223 @@
+//! Cross-validation of the static free-safety auditor against the
+//! dynamic shadow-heap sanitizer:
+//!
+//! * **Soundness gate** — on every program whose free sites the auditor
+//!   proves, the sanitizer must report zero violations, on both engines.
+//! * **Invisibility gate** — a run's observable report (output, time,
+//!   steps, metrics, site profile) must be bit-identical with the
+//!   sanitizer on or off.
+//! * **Parallel gate** — sanitized distributions must be invariant under
+//!   `--jobs`.
+//! * **Bug-detection gate** — a deliberately buggy hand-instrumented
+//!   program must be flagged by the sanitizer (and rejected by the
+//!   auditor) on both engines, and `--audit deny` must make the same
+//!   program run clean by stripping the unproven free.
+
+use gofree::{
+    compile, execute, run_distribution, AuditMode, CompileOptions, Compiled, RunConfig, Setting,
+    ViolationKind, VmEngine,
+};
+use gofree_workloads::{corpus, fuzzgen, Scale};
+
+/// The corpus the gates sweep: all workloads, generated corpus programs,
+/// and 20 fuzzed programs (fuzz entries may legitimately fail at run
+/// time; those runs are skipped, not counted).
+fn corpus_sources() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = gofree_workloads::all(Scale::Test)
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.source))
+        .collect();
+    for nfuncs in [1, 4, 16] {
+        out.push((format!("corpus n={nfuncs}"), corpus::generate(nfuncs)));
+    }
+    for seed in 0..20 {
+        out.push((format!("fuzz seed={seed}"), fuzzgen::generate(seed)));
+    }
+    out
+}
+
+fn compile_audited(label: &str, src: &str) -> Compiled {
+    let opts = CompileOptions {
+        audit: AuditMode::Warn,
+        ..CompileOptions::default()
+    };
+    compile(src, &opts).unwrap_or_else(|e| panic!("{label}: {}", e.render(src)))
+}
+
+#[test]
+fn auditor_proved_programs_are_sanitizer_clean_on_both_engines() {
+    let mut proved_sites = 0usize;
+    let mut total_sites = 0usize;
+    for (label, src) in corpus_sources() {
+        let compiled = compile_audited(&label, &src);
+        let report = compiled.audit.as_ref().expect("audit ran");
+        proved_sites += report.proved();
+        total_sites += report.sites.len();
+        if report.proved() != report.sites.len() {
+            // The soundness gate only covers proved programs; unproven
+            // sites are exercised by the deny/strip tests below.
+            continue;
+        }
+        for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+            let cfg = RunConfig {
+                engine,
+                sanitize: true,
+                ..RunConfig::deterministic(7)
+            };
+            let Ok(run) = execute(&compiled, Setting::GoFree, &cfg) else {
+                continue; // fuzzed programs may fail (bounds, nil) — not a gate
+            };
+            assert!(
+                run.violations.is_empty(),
+                "{label} ({engine}): auditor proved every site but the sanitizer found {:?}",
+                run.violations
+            );
+        }
+    }
+    // The whole sweep must also clear the paper-level bar: >= 95% of all
+    // inserted free sites proved across the corpus.
+    assert!(total_sites > 0, "corpus produced no free sites");
+    let rate = proved_sites as f64 / total_sites as f64;
+    assert!(
+        rate >= 0.95,
+        "proof rate {rate:.3} below 0.95 ({proved_sites}/{total_sites})"
+    );
+}
+
+#[test]
+fn sanitizer_is_observationally_invisible() {
+    for (label, src) in corpus_sources() {
+        let compiled = compile_audited(&label, &src);
+        for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+            let run_with = |sanitize: bool| {
+                let cfg = RunConfig {
+                    engine,
+                    sanitize,
+                    ..RunConfig::deterministic(13)
+                };
+                execute(&compiled, Setting::GoFree, &cfg)
+            };
+            match (run_with(false), run_with(true)) {
+                (Ok(plain), Ok(sanitized)) => {
+                    assert_eq!(plain.output, sanitized.output, "{label} ({engine}): output");
+                    assert_eq!(plain.time, sanitized.time, "{label} ({engine}): time");
+                    assert_eq!(plain.steps, sanitized.steps, "{label} ({engine}): steps");
+                    assert_eq!(
+                        format!("{:?}", plain.metrics),
+                        format!("{:?}", sanitized.metrics),
+                        "{label} ({engine}): metrics"
+                    );
+                    assert_eq!(
+                        plain.site_profile, sanitized.site_profile,
+                        "{label} ({engine}): site profile"
+                    );
+                }
+                (Err(p), Err(s)) => {
+                    assert_eq!(p.to_string(), s.to_string(), "{label} ({engine}): error");
+                }
+                (p, s) => panic!(
+                    "{label} ({engine}): sanitizer changed the outcome: \
+                     off={p:?} on={s:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn sanitized_distributions_are_jobs_invariant() {
+    let w = &gofree_workloads::all(Scale::Test)[0];
+    let compiled = compile_audited(w.name, &w.source);
+    let run_with = |jobs: usize| {
+        let cfg = RunConfig {
+            sanitize: true,
+            jobs,
+            ..RunConfig::deterministic(3)
+        };
+        run_distribution(&compiled, Setting::GoFree, &cfg, 6).expect("distribution")
+    };
+    let seq = run_with(1);
+    let par = run_with(2);
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a.output, b.output, "run {i}: output");
+        assert_eq!(a.time, b.time, "run {i}: time");
+        assert_eq!(
+            format!("{:?}", a.metrics),
+            format!("{:?}", b.metrics),
+            "run {i}: metrics"
+        );
+        assert_eq!(a.violations, b.violations, "run {i}: violations");
+    }
+}
+
+/// The planted bug: a hand-written premature free of a still-live slice.
+const PLANTED_BUG: &str =
+    "func main() { n := 100\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n";
+
+#[test]
+fn planted_bug_is_caught_by_both_oracles_on_both_engines() {
+    // Static side: the auditor rejects the hand-written free.
+    let audited = compile(
+        PLANTED_BUG,
+        &CompileOptions {
+            audit: AuditMode::Warn,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    let report = audited.audit.as_ref().expect("audit ran");
+    assert!(
+        report.unproven().count() >= 1,
+        "auditor must reject the premature free"
+    );
+
+    // Dynamic side: the sanitizer flags the stale read on both engines,
+    // identically (violations are deterministic: object id + step).
+    let mut flagged = Vec::new();
+    for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+        let cfg = RunConfig {
+            engine,
+            sanitize: true,
+            ..RunConfig::deterministic(0)
+        };
+        let run = execute(&audited, Setting::GoFree, &cfg).expect("runs to completion");
+        assert!(
+            !run.violations.is_empty(),
+            "{engine}: sanitizer missed the planted use-after-free"
+        );
+        assert_eq!(run.violations[0].kind, ViolationKind::UseAfterFree);
+        flagged.push(run.violations);
+    }
+    assert_eq!(flagged[0], flagged[1], "engines agree on the violations");
+}
+
+#[test]
+fn audit_deny_makes_the_planted_bug_run_clean() {
+    let denied = compile(
+        PLANTED_BUG,
+        &CompileOptions {
+            audit: AuditMode::Deny,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    assert!(denied.frees_suppressed >= 1, "deny stripped the bad free");
+    for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+        let cfg = RunConfig {
+            engine,
+            sanitize: true,
+            ..RunConfig::deterministic(0)
+        };
+        let run = execute(&denied, Setting::GoFree, &cfg).expect("runs");
+        assert_eq!(run.output, "7\n");
+        assert!(
+            run.violations.is_empty(),
+            "{engine}: stripped program must be sanitizer-clean"
+        );
+        assert_eq!(
+            run.metrics.frees_suppressed, denied.frees_suppressed,
+            "{engine}: suppression count surfaces in run metrics"
+        );
+    }
+}
