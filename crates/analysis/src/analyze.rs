@@ -100,6 +100,13 @@ pub struct AnalysisStats {
     pub to_free: usize,
     /// Wall-clock analysis time in nanoseconds (for §6.7).
     pub elapsed_nanos: u128,
+    /// Wall-clock nanoseconds in the escape solve proper (graph build +
+    /// fixpoint + summary extraction), for the compile-phase trace.
+    pub solve_nanos: u128,
+    /// Wall-clock nanoseconds selecting free variables — evaluating the
+    /// completeness/lifetime conjuncts of definition 4.17 over the solved
+    /// graphs — for the compile-phase trace.
+    pub select_nanos: u128,
 }
 
 /// The result of whole-program escape analysis.
@@ -163,6 +170,8 @@ pub fn analyze(
         summaries.insert(fid, summary);
         funcs.insert(fid, fg);
     }
+    stats.solve_nanos = start.elapsed().as_nanos();
+    let select_start = Instant::now();
 
     let mut alloc_decisions = HashMap::new();
     let mut free_vars: HashMap<FuncId, Vec<(VarId, FreeKind)>> = HashMap::new();
@@ -181,6 +190,7 @@ pub fn analyze(
             free_vars.insert(*fid, list);
         }
     }
+    stats.select_nanos = select_start.elapsed().as_nanos();
     stats.elapsed_nanos = start.elapsed().as_nanos();
 
     Analysis {

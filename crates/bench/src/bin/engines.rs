@@ -65,4 +65,13 @@ fn main() {
     }
     let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     println!("\ngeomean speedup: {geomean:.2}x (bytecode over tree-walk)");
+
+    // `--trace PATH`: export one traced GoFree run of the json workload
+    // (traces are engine-identical, so the selected engine is moot).
+    if opts.trace.is_some() {
+        let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
+        let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
+        let r = execute(&compiled, Setting::GoFree, &base).expect("workload runs");
+        opts.write_trace(&r, &compiled.phase_times);
+    }
 }

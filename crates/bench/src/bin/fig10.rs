@@ -18,6 +18,7 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
     let mut points = Vec::new();
+    let mut last_traced = None;
     for &c in micro::C_VALUES {
         let src = micro::source(c, budget);
         let go = gofree::compile(&src, &Setting::Go.compile_options()).expect("compiles");
@@ -42,6 +43,7 @@ fn main() {
             mean_obj,
         );
         points.push(p);
+        last_traced = Some((gf_r, gofree.phase_times.clone()));
     }
     println!("{}", "-".repeat(70));
     println!("\nExpected shape (paper fig. 10): free ratio comparable across c;");
@@ -53,5 +55,9 @@ fn main() {
     }
     if first.gc_ratio <= last.gc_ratio {
         println!("GC-count benefit shrinks with c: OK");
+    }
+    // `--trace PATH`: export the last sweep point's GoFree event stream.
+    if let Some((report, phases)) = last_traced {
+        opts.write_trace(&report, &phases);
     }
 }

@@ -63,4 +63,7 @@ fn main() {
              scale (expected at --quick; run at full scale for the paper's shape)."
         );
     }
+    // `--trace PATH`: export run 0's GoFree event stream (compile phases
+    // are not collected here; the runtime track carries everything).
+    opts.write_trace(&gofree[0], &[]);
 }

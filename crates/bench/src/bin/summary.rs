@@ -97,4 +97,12 @@ fn main() {
     println!("\ntable 3: Go graph's PointsTo(pd2) flagged Incomplete -> never freed  OK");
     println!("robustness: run `--bin robustness` / `--bin fuzz` for the soundness suite");
     println!("\nAll headline invariants hold.");
+
+    // `--trace PATH`: export one traced GoFree run of the json workload.
+    if opts.trace.is_some() {
+        let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
+        let c = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
+        let r = execute(&c, Setting::GoFree, &base).expect("workload runs");
+        opts.write_trace(&r, &c.phase_times);
+    }
 }

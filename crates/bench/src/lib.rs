@@ -36,6 +36,11 @@ pub struct HarnessOptions {
     /// across cores. Reported numbers are identical for any value
     /// (tests/parallel.rs); only host wall-clock changes.
     pub jobs: usize,
+    /// When set, runs record the runtime event trace and the binary
+    /// exports run 0's stream as Chrome `trace_event` JSON to this path
+    /// (see [`HarnessOptions::write_trace`]). Tracing never changes the
+    /// reported numbers — it only observes.
+    pub trace: Option<String>,
 }
 
 impl Default for HarnessOptions {
@@ -45,6 +50,7 @@ impl Default for HarnessOptions {
             quick: false,
             engine: gofree::VmEngine::default(),
             jobs: gofree::default_jobs(),
+            trace: None,
         }
     }
 }
@@ -77,11 +83,17 @@ impl HarnessOptions {
                         opts.jobs = n;
                     }
                 }
+                "--trace" | "-t" => {
+                    if let Some(path) = args.next() {
+                        opts.trace = Some(path);
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --runs N (default 99), --quick, \
                          --engine tree-walk|bytecode (default bytecode), \
-                         --jobs N (default GOFREE_JOBS or 1)"
+                         --jobs N (default GOFREE_JOBS or 1), \
+                         --trace PATH (export a run's event trace as Chrome JSON)"
                     );
                     std::process::exit(0);
                 }
@@ -106,8 +118,30 @@ impl HarnessOptions {
         RunConfig {
             engine: self.engine,
             jobs: self.jobs,
+            trace: self.trace.is_some(),
             ..eval_run_config()
         }
+    }
+
+    /// Exports a traced report's event stream to the `--trace` path as
+    /// Chrome `trace_event` JSON (no-op without `--trace`). Reconciles
+    /// the folded trace against the report's metrics first, so a trace
+    /// that disagrees with the published numbers can never be exported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report carries no trace (the harness misconfigured
+    /// [`RunConfig::trace`]), if reconciliation fails, or if the file
+    /// cannot be written.
+    pub fn write_trace(&self, report: &gofree::Report, phases: &[gofree::PhaseTime]) {
+        let Some(path) = &self.trace else { return };
+        let trace = report.trace.as_ref().expect("traced run carries a trace");
+        trace
+            .reconcile(&report.metrics)
+            .expect("trace reconciles with metrics");
+        let json = gofree::chrome_trace_json(trace, phases);
+        std::fs::write(path, json).expect("trace file written");
+        eprintln!("[trace] wrote {} events to {path}", trace.events.len());
     }
 }
 

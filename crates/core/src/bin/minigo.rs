@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--audit MODE]
-//!            [--sanitize] [--explain] <file>
+//!            [--sanitize] [--explain] [--trace PATH] <file>
 //! minigo build [--go] [--audit MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -15,7 +15,10 @@
 //! over the instrumented program; `deny` strips unproven frees before
 //! execution. `--sanitize` runs the shadow-heap oracle and fails the
 //! command on any violation. `--explain` prints Go `-m`-style per-site
-//! allocation and free decisions.
+//! allocation and free decisions. `--trace PATH` records the runtime
+//! event stream, writes it as Chrome `trace_event` JSON to PATH, prints
+//! the per-site timeline table to stderr, and fails the command if the
+//! folded trace does not reconcile exactly with the run's metrics.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,6 +46,7 @@ struct Cli {
     audit: AuditMode,
     sanitize: bool,
     explain: bool,
+    trace: Option<String>,
     func: Option<String>,
     file: Option<String>,
 }
@@ -57,6 +61,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         audit: AuditMode::Off,
         sanitize: false,
         explain: false,
+        trace: None,
         func: None,
         file: None,
     };
@@ -94,6 +99,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--sanitize" => cli.sanitize = true,
             "--explain" => cli.explain = true,
+            "--trace" => {
+                cli.trace = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
             "--func" => {
                 cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
             }
@@ -147,6 +155,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 seed: cli.seed,
                 jobs: cli.jobs,
                 sanitize: cli.sanitize,
+                trace: cli.trace.is_some(),
                 ..RunConfig::default()
             };
             // `--runs N` executes a seeded distribution (fanned across
@@ -173,6 +182,30 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                     cli.jobs,
                     times.iter().min().unwrap(),
                     times.iter().max().unwrap(),
+                );
+            }
+            if let Some(path) = &cli.trace {
+                let trace = report
+                    .trace
+                    .as_ref()
+                    .ok_or("internal error: traced run produced no trace")?;
+                trace
+                    .reconcile(&report.metrics)
+                    .map_err(|e| format!("[trace] {e}"))?;
+                let json = gofree::chrome_trace_json(trace, &compiled.phase_times);
+                std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+                let spans = collect_spans(&compiled.program);
+                let labels: HashMap<u32, String> = spans
+                    .iter()
+                    .map(|(id, (span, what))| {
+                        let (line, col) = span.line_col(&src);
+                        (id.0, format!("{line}:{col} {what}"))
+                    })
+                    .collect();
+                eprint!("{}", gofree::timeline_table(trace, &labels));
+                eprintln!(
+                    "[trace] {} events reconciled with metrics; wrote {path}",
+                    trace.events.len()
                 );
             }
             if cli.sanitize {
@@ -261,7 +294,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
-     [--runs N] [--jobs N] [--audit off|warn|deny] [--sanitize] [--explain] [--func NAME] <file>"
+     [--runs N] [--jobs N] [--audit off|warn|deny] [--sanitize] [--explain] [--trace PATH] \
+     [--func NAME] <file>"
         .to_string()
 }
 

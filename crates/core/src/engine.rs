@@ -113,6 +113,14 @@ pub struct RunConfig {
     /// (output, time, metrics, steps, site profile) is bit-identical with
     /// the sanitizer on or off.
     pub sanitize: bool,
+    /// Record the typed runtime event stream in
+    /// [`Report::trace`](minigo_vm::RunOutcome). Like `sanitize`, tracing
+    /// is carried out-of-band: the rest of the report is bit-identical
+    /// with tracing on or off, the stream folds back to the run's
+    /// [`minigo_runtime::Metrics`] exactly
+    /// ([`minigo_runtime::Trace::reconcile`]), and it is bit-identical
+    /// across the two VM engines and invariant under `jobs`.
+    pub trace: bool,
     /// Worker threads for [`run_distribution`]/[`run_matrix`] fan-out
     /// (1 = sequential). Every observable — outputs, virtual times,
     /// metrics, site profiles — is invariant under `jobs`: per-run seeds
@@ -134,6 +142,7 @@ impl Default for RunConfig {
             step_limit: 500_000_000,
             engine: VmEngine::default(),
             sanitize: false,
+            trace: false,
             jobs: default_jobs(),
         }
     }
@@ -193,6 +202,7 @@ pub fn execute(
         seed: cfg.seed,
         jitter: cfg.jitter,
         poison: cfg.poison,
+        trace: cfg.trace,
         ..RuntimeConfig::default()
     };
     let vm_cfg = VmConfig {

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod experiment;
 pub mod pipeline;
 pub mod stats;
+pub mod trace;
 
 pub use engine::{
     compile_and_run, default_jobs, execute, run_distribution, run_matrix, run_seed, Report,
@@ -34,10 +35,13 @@ pub use experiment::{
     distribution, fig10_point, table7_row, table8_row, table9_row, Distribution, Fig10Point,
     MetricComparison, Table7Row, Table8Row, Table9Row,
 };
-pub use pipeline::{compile, CompileOptions, Compiled};
+pub use pipeline::{compile, CompileOptions, Compiled, PhaseTime};
 pub use stats::{mean, stdev, welch_t_test, Welch};
+pub use trace::{chrome_trace_json, timeline_table};
 
 // Re-export the pieces callers commonly need alongside the facade.
 pub use minigo_escape::{AuditMode, AuditReport, AuditSite, AuditVerdict, FreeTargets, Mode};
-pub use minigo_runtime::{Category, FreeSource, PoisonMode, ShadowViolation, ViolationKind};
+pub use minigo_runtime::{
+    Category, FreeSource, PoisonMode, ShadowViolation, Trace, TraceEvent, ViolationKind,
+};
 pub use minigo_vm::ExecError;

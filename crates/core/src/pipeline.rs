@@ -64,6 +64,19 @@ impl CompileOptions {
     }
 }
 
+/// Wall-clock timing of one compiler phase, for the `--trace` compile
+/// timeline. Unlike run-time trace events (virtual-time-stamped and
+/// deterministic), these are host measurements: they vary run to run and
+/// are never part of trace/metrics reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTime {
+    /// Phase name (`parse`, `resolve`, `typecheck`, `escape-solve`,
+    /// `free-select`, `instrument`, `audit`, `lower`, ...).
+    pub phase: &'static str,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub nanos: u128,
+}
+
 /// A compiled (and, in GoFree mode, instrumented) program ready to run.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -83,6 +96,10 @@ pub struct Compiled {
     /// Free sites stripped under [`AuditMode::Deny`] (copied into every
     /// run's [`minigo_runtime::Metrics::frees_suppressed`]).
     pub frees_suppressed: u64,
+    /// Per-phase wall-clock compile timings, in pipeline order (the
+    /// escape analysis contributes its `escape-solve` and `free-select`
+    /// sub-phases).
+    pub phase_times: Vec<PhaseTime>,
 }
 
 impl Compiled {
@@ -104,23 +121,40 @@ impl Compiled {
 ///
 /// Returns the first front-end [`Diagnostic`].
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic> {
+    let mut phase_times = Vec::new();
+    let mut timed = |phase: &'static str, nanos: u128| phase_times.push(PhaseTime { phase, nanos });
+    let t = std::time::Instant::now();
     let mut program = parse(src)?;
+    timed("parse", t.elapsed().as_nanos());
     if opts.inline {
+        let t = std::time::Instant::now();
         program = inline_program(&program, &InlineOptions::default()).0;
+        timed("inline", t.elapsed().as_nanos());
     }
+    let t = std::time::Instant::now();
     let mut resolution = resolve(&program)?;
+    timed("resolve", t.elapsed().as_nanos());
+    let t = std::time::Instant::now();
     let types = typecheck(&program, &resolution)?;
+    timed("typecheck", t.elapsed().as_nanos());
     let analysis = analyze(&program, &resolution, &types, &opts.to_analyze_options());
+    // The analysis times its own sub-phases: the escape solve proper and
+    // the completeness/lifetime free-variable selection.
+    timed("escape-solve", analysis.stats.solve_nanos);
+    timed("free-select", analysis.stats.select_nanos);
+    let t = std::time::Instant::now();
     let mut program = if opts.mode == Mode::GoFree {
         instrument(&program, &mut resolution, &analysis)
     } else {
         program
     };
+    timed("instrument", t.elapsed().as_nanos());
     // The audit is an independent second pass: it sees only the
     // instrumented AST, never the escape graph that justified the frees.
     let mut report = None;
     let mut frees_suppressed = 0;
     if opts.mode == Mode::GoFree && opts.audit != AuditMode::Off {
+        let t = std::time::Instant::now();
         let r = audit(&program, &resolution, &types);
         if opts.audit == AuditMode::Deny {
             let (stripped, removed) = strip_unproven(&program, &r);
@@ -128,8 +162,11 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
             frees_suppressed = removed;
         }
         report = Some(r);
+        timed("audit", t.elapsed().as_nanos());
     }
+    let t = std::time::Instant::now();
     let lowered = minigo_vm::lower(&program, &resolution, &types, &analysis);
+    timed("lower", t.elapsed().as_nanos());
     Ok(Compiled {
         program,
         resolution,
@@ -138,6 +175,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
         lowered,
         audit: report,
         frees_suppressed,
+        phase_times,
     })
 }
 

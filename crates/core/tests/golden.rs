@@ -1,0 +1,107 @@
+//! Golden snapshot tests for the user-facing CLI surfaces: the
+//! `--explain` per-site diagnostics and the `--trace` timeline table.
+//! Expected outputs live under `tests/golden/`; update them after an
+//! intentional change with
+//!
+//! ```text
+//! GOFREE_BLESS=1 cargo test -p gofree --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_file(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Compares `actual` against `tests/golden/<name>.txt`, or rewrites the
+/// snapshot when `GOFREE_BLESS=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var("GOFREE_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; bless with GOFREE_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; if the change is intentional, re-bless with \
+         GOFREE_BLESS=1 cargo test -p gofree --test golden"
+    );
+}
+
+/// Runs the `minigo` binary and captures both streams with markers, so a
+/// snapshot pins stdout and stderr at once.
+fn run_minigo(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_minigo"))
+        .args(args)
+        .output()
+        .expect("minigo runs");
+    assert!(
+        out.status.success(),
+        "minigo {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    format!(
+        "# stdout\n{}# stderr\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+#[test]
+fn explain_demo_snapshot() {
+    let file = repo_file("examples/programs/demo.mgo");
+    assert_golden(
+        "explain_demo",
+        &run_minigo(&["build", "--explain", file.to_str().unwrap()]),
+    );
+}
+
+#[test]
+fn explain_linkedlist_snapshot() {
+    let file = repo_file("examples/programs/linkedlist.mgo");
+    assert_golden(
+        "explain_linkedlist",
+        &run_minigo(&["build", "--explain", file.to_str().unwrap()]),
+    );
+}
+
+#[test]
+fn trace_timeline_snapshot() {
+    // `minigo run --trace` prints the per-site timeline table (plus the
+    // run report) to stderr; the seed pins the virtual-time stream. The
+    // JSON output path varies per run, so it is normalised out.
+    let file = repo_file("examples/programs/sieve.mgo");
+    let json = std::env::temp_dir().join("gofree-golden-trace.json");
+    let json_str = json.to_str().unwrap().to_string();
+    let out = run_minigo(&[
+        "run",
+        "--seed",
+        "7",
+        "--trace",
+        &json_str,
+        file.to_str().unwrap(),
+    ]);
+    let normalised = out.replace(&json_str, "<trace.json>");
+    assert_golden("trace_timeline_sieve", &normalised);
+
+    // The exported Chrome JSON must be well-formed enough to pin a few
+    // structural invariants (it is timestamp-heavy, so no full snapshot).
+    let json_text = std::fs::read_to_string(&json).expect("trace json written");
+    assert!(json_text.starts_with("{\"traceEvents\":["));
+    assert!(json_text.contains("\"escape-solve\""));
+    assert!(json_text.contains("\"alloc\""));
+    assert!(json_text.contains("\"free\""));
+    let _ = std::fs::remove_file(&json);
+}

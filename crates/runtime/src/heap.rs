@@ -87,6 +87,24 @@ pub struct SweepOutcome {
     pub freed: Vec<(ObjAddr, Category, u64)>,
     /// Spans examined (cost accounting).
     pub spans_swept: usize,
+    /// Dangling large-object spans that completed fig. 9 step 2 (their
+    /// struct joined the idle list).
+    pub dangling_retired: u64,
+}
+
+/// What an explicit small-object free did to its span (the §5
+/// allocation-index revert the tracing layer reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallFree {
+    /// Bytes returned (the span's slot size).
+    pub bytes: u64,
+    /// Whether the freed slot was on top and the allocation index was
+    /// reverted (immediate reuse); `false` means the occupancy bit was
+    /// cleared and the slot waits for the next sweep.
+    pub reverted: bool,
+    /// Extra index steps the revert cascaded over earlier freed slots
+    /// (0 = only the freed slot itself was reclaimed).
+    pub cascade: u32,
 }
 
 /// The simulated heap.
@@ -246,21 +264,30 @@ impl Heap {
 
     /// Explicitly frees a small object: reverts the allocation index when
     /// the object is on top, otherwise just clears its bit (the slot is
-    /// reused after the next sweep). Returns the freed bytes.
-    pub fn free_small(&mut self, addr: ObjAddr) -> u64 {
+    /// reused after the next sweep). Returns the freed bytes and what the
+    /// free did to the allocation index.
+    pub fn free_small(&mut self, addr: ObjAddr) -> SmallFree {
         let span = self.span_mut(addr.span);
         debug_assert!(span.alloc_bits[addr.slot as usize]);
         span.alloc_bits[addr.slot as usize] = false;
         span.cats[addr.slot as usize] = None;
+        let mut reverted = false;
+        let mut cascade = 0;
         if addr.slot + 1 == span.free_index {
             // Revert the allocator pointer; cascade over earlier frees.
+            reverted = true;
             while span.free_index > 0 && !span.alloc_bits[span.free_index as usize - 1] {
                 span.free_index -= 1;
             }
+            cascade = addr.slot - span.free_index;
         }
         let bytes = span.slot_size;
         self.heap_live -= bytes;
-        bytes
+        SmallFree {
+            bytes,
+            reverted,
+            cascade,
+        }
     }
 
     /// Step 1 of the large-object free (fig. 9): return the pages and mark
@@ -317,6 +344,7 @@ impl Heap {
             if self.spans[i].dangling {
                 // Fig. 9 step 2: the span struct joins the idle list.
                 self.retire_span(sid);
+                out.dangling_retired += 1;
                 continue;
             }
             let nslots = self.spans[i].nslots;
@@ -426,7 +454,14 @@ mod tests {
         let class = class_for(64);
         let (a, _) = h.alloc_small(class, 0, Category::Slice);
         let (b, _) = h.alloc_small(class, 0, Category::Slice);
-        assert_eq!(h.free_small(b), 64);
+        assert_eq!(
+            h.free_small(b),
+            SmallFree {
+                bytes: 64,
+                reverted: true,
+                cascade: 0
+            }
+        );
         // Slot b is immediately reusable.
         let (c, _) = h.alloc_small(class, 0, Category::Slice);
         assert_eq!(c.slot, b.slot);
@@ -440,9 +475,13 @@ mod tests {
         let (a, _) = h.alloc_small(class, 0, Category::Other);
         let (b, _) = h.alloc_small(class, 0, Category::Other);
         let (c, _) = h.alloc_small(class, 0, Category::Other);
-        h.free_small(b); // middle: bit cleared, index stays
+        let mid = h.free_small(b); // middle: bit cleared, index stays
+        assert!(!mid.reverted);
+        assert_eq!(mid.cascade, 0);
         assert_eq!(h.span(c.span).free_index, 3);
-        h.free_small(c); // top: cascades past b down to 1
+        let top = h.free_small(c); // top: cascades past b down to 1
+        assert!(top.reverted);
+        assert_eq!(top.cascade, 1);
         assert_eq!(h.span(c.span).free_index, 1);
         assert!(h.is_allocated(a));
     }
@@ -480,6 +519,7 @@ mod tests {
         // Step 2 happens at sweep: the span struct becomes reusable.
         let out = h.sweep(&HashSet::new());
         assert!(out.freed.is_empty());
+        assert_eq!(out.dangling_retired, 1);
         assert!(!h.span(a.span).active);
         let b = h.alloc_large(8192, 0, Category::Map);
         assert_eq!(b.span, a.span, "idle span struct reused");

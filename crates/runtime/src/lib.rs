@@ -33,11 +33,13 @@ pub mod rng;
 pub mod runtime;
 pub mod shadow;
 pub mod sizeclass;
+pub mod trace;
 
 pub use clock::{Clock, CostModel};
-pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SpanId, SweepOutcome};
+pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SmallFree, SpanId, SweepOutcome};
 pub use metrics::{BailReason, Category, FreeSource, Metrics};
 pub use rng::SimRng;
 pub use runtime::{FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
 pub use shadow::{FreeCheck, ShadowHeap, ShadowViolation, ViolationKind};
 pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};
+pub use trace::{FreeStep, Trace, TraceEvent, Tracer};

@@ -17,6 +17,7 @@ use crate::heap::{footprint, Heap, ObjAddr, SweepOutcome};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
 use crate::rng::SimRng;
 use crate::sizeclass::{class_for, class_size, large_pages, MAX_SMALL_SIZE};
+use crate::trace::{FreeStep, Trace, TraceEvent, Tracer};
 
 /// How the §6.8 robustness mock corrupts memory instead of freeing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,11 @@ pub struct RuntimeConfig {
     pub gc_assist_divisor: u64,
     /// §6.8 robustness mock.
     pub poison: PoisonMode,
+    /// Record the typed runtime event stream ([`crate::trace`]). Like the
+    /// shadow sanitizer, tracing is invisible to every observable: no
+    /// clock charges, no metrics, no RNG draws — the report is
+    /// bit-identical with tracing on or off.
+    pub trace: bool,
     /// Tick charges.
     pub costs: CostModel,
 }
@@ -70,6 +76,7 @@ impl Default for RuntimeConfig {
             jitter: 0.02,
             gc_assist_divisor: 16,
             poison: PoisonMode::Off,
+            trace: false,
             costs: CostModel::default(),
         }
     }
@@ -103,6 +110,10 @@ pub struct Runtime {
     assist_left: u64,
     next_gc: u64,
     live_objects: u64,
+    /// The event recorder, present when [`RuntimeConfig::trace`] is on.
+    /// Boxed so the untraced hot path only carries a pointer-sized
+    /// `None` check.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Runtime {
@@ -112,6 +123,7 @@ impl Runtime {
         let heap = Heap::new(cfg.threads as usize);
         let next_gc = cfg.min_heap;
         let rng = SimRng::seed_from_u64(cfg.seed);
+        let tracer = cfg.trace.then(|| Box::new(Tracer::new()));
         Runtime {
             cfg,
             heap,
@@ -123,6 +135,7 @@ impl Runtime {
             assist_left: 0,
             next_gc,
             live_objects: 0,
+            tracer,
         }
     }
 
@@ -170,14 +183,28 @@ impl Runtime {
     /// Allocates `size` bytes of category `cat`. Returns the address; the
     /// VM stores the payload under it.
     pub fn alloc(&mut self, size: u64, cat: Category) -> ObjAddr {
+        self.alloc_at(size, cat, None)
+    }
+
+    /// [`Runtime::alloc`] with an allocation-site id attached to the trace
+    /// event (the VM passes the allocating expression's id). When tracing
+    /// is off this is identical to `alloc`.
+    pub fn alloc_at(&mut self, size: u64, cat: Category, site: Option<u32>) -> ObjAddr {
         // Simulated scheduler migration.
         if self.cfg.migrate_prob > 0.0 && self.rng.gen_bool(self.cfg.migrate_prob) {
             self.heap.flush_mcache(self.current_thread);
+            if let Some(t) = &mut self.tracer {
+                let at = self.clock.now();
+                t.record(TraceEvent::McacheFlush {
+                    at,
+                    thread: self.current_thread,
+                });
+            }
             self.current_thread = (self.current_thread + 1) % self.cfg.threads.max(1);
         }
 
         let size = size.max(8);
-        let addr = if size <= MAX_SMALL_SIZE {
+        let (addr, bytes, large) = if size <= MAX_SMALL_SIZE {
             let class = class_for(size);
             let (addr, events) = self.heap.alloc_small(class, self.current_thread, cat);
             self.clock.charge(self.cfg.costs.alloc_small);
@@ -189,16 +216,15 @@ impl Runtime {
                 let c = self.cfg.costs.span_create;
                 self.clock.charge_jittered(c, &mut self.rng);
             }
-            self.metrics.alloced_bytes += class_size(class);
-            addr
+            (addr, class_size(class), false)
         } else {
             let addr = self.heap.alloc_large(size, self.current_thread, cat);
             let c = self.cfg.costs.alloc_large
                 + self.cfg.costs.alloc_large_per_page * large_pages(size) as u64;
             self.clock.charge_jittered(c, &mut self.rng);
-            self.metrics.alloced_bytes += size;
-            addr
+            (addr, size, true)
         };
+        self.metrics.alloced_bytes += bytes;
         self.metrics.alloced_objects += 1;
         self.metrics.heap_allocs[cat.index()] += 1;
         self.live_objects += 1;
@@ -207,6 +233,19 @@ impl Runtime {
         // frees return whole pages — exactly the distinction fig. 10's
         // heap-size results rest on.
         self.metrics.maxheap = self.metrics.maxheap.max(footprint(&self.heap));
+        if let Some(t) = &mut self.tracer {
+            t.note_site(addr, site);
+            t.record(TraceEvent::Alloc {
+                at: self.clock.now(),
+                addr,
+                site,
+                cat,
+                bytes,
+                large,
+                heap_live: self.heap.heap_live(),
+                footprint: footprint(&self.heap),
+            });
+        }
 
         // GC pacing.
         if self.cfg.gc_enabled {
@@ -219,9 +258,27 @@ impl Runtime {
                 // the program so the collector keeps up with allocation.
                 self.assist_left =
                     (self.live_objects / self.cfg.gc_assist_divisor.max(1)).clamp(16, 96);
+                if let Some(t) = &mut self.tracer {
+                    t.record(TraceEvent::GcStart {
+                        at: self.clock.now(),
+                        heap_live: self.heap.heap_live(),
+                        heap_goal: self.next_gc,
+                        window: self.assist_left,
+                    });
+                }
             }
         }
         addr
+    }
+
+    /// Records a stack allocation made by the VM: counted in the metrics
+    /// (table 8's "Stack" columns) and, when tracing, in the event stream.
+    pub fn stack_alloc(&mut self, cat: Category) {
+        self.metrics.record_stack_alloc(cat);
+        if let Some(t) = &mut self.tracer {
+            let at = self.clock.now();
+            t.record(TraceEvent::StackAlloc { at, cat });
+        }
     }
 
     /// The `tcfree` primitive (§5): best-effort explicit deallocation.
@@ -283,28 +340,54 @@ impl Runtime {
             }
         }
         if self.cfg.poison != PoisonMode::Off {
+            if let Some(t) = &mut self.tracer {
+                let at = self.clock.now();
+                t.record(TraceEvent::FreePoison { at, addr });
+            }
             return FreeOutcome::Poisoned;
         }
         let cat = span.cats[addr.slot as usize].unwrap_or(Category::Other);
-        let bytes = if is_large {
+        let (bytes, step) = if is_large {
             let b = self.heap.free_large_step1(addr);
             self.clock.charge(self.cfg.costs.tcfree_large);
-            b
+            (b, FreeStep::LargeStep1)
         } else {
-            let b = self.heap.free_small(addr);
+            let f = self.heap.free_small(addr);
             self.clock.charge(self.cfg.costs.tcfree_small);
-            b
+            let step = if f.reverted {
+                FreeStep::Revert { cascade: f.cascade }
+            } else {
+                FreeStep::SlotClear
+            };
+            (f.bytes, step)
         };
         self.live_objects = self.live_objects.saturating_sub(1);
         self.metrics.freed_bytes += bytes;
         self.metrics.freed_bytes_by_source[source.index()] += bytes;
         self.metrics.freed_objects_by_source[source.index()] += 1;
         self.metrics.heap_tcfreed[cat.index()] += 1;
+        if let Some(t) = &mut self.tracer {
+            let site = t.take_site(addr);
+            t.record(TraceEvent::Free {
+                at: self.clock.now(),
+                addr,
+                site,
+                cat,
+                source,
+                bytes,
+                step,
+                heap_live: self.heap.heap_live(),
+            });
+        }
         FreeOutcome::Freed { bytes }
     }
 
     fn bail(&mut self, reason: BailReason) -> FreeOutcome {
         self.metrics.tcfree_bails[reason.index()] += 1;
+        if let Some(t) = &mut self.tracer {
+            let at = self.clock.now();
+            t.record(TraceEvent::FreeBail { at, reason });
+        }
         FreeOutcome::Bailed(reason)
     }
 
@@ -336,7 +419,26 @@ impl Runtime {
         self.gc_running = false;
         self.assist_left = 0;
         self.metrics.gcs += 1;
-        self.metrics.gc_ticks += self.clock.now() - before;
+        let ticks = self.clock.now() - before;
+        self.metrics.gc_ticks += ticks;
+        if let Some(t) = &mut self.tracer {
+            let mut swept = [0u64; 3];
+            let mut swept_bytes = 0;
+            for &(addr, cat, bytes) in &out.freed {
+                swept[cat.index()] += 1;
+                swept_bytes += bytes;
+                t.forget_site(addr);
+            }
+            t.record(TraceEvent::GcEnd {
+                at: self.clock.now(),
+                heap_live: heap_marked,
+                next_goal: self.next_gc,
+                swept,
+                swept_bytes,
+                dangling_retired: out.dangling_retired,
+                ticks,
+            });
+        }
         out
     }
 
@@ -344,9 +446,26 @@ impl Runtime {
     /// collected, so they count toward the GC columns of table 8.
     pub fn finalize(&mut self) {
         self.metrics.maxheap = self.metrics.maxheap.max(footprint(&self.heap));
+        let mut leftover = [0u64; 3];
         for (_, cat, _) in self.heap.live_objects() {
             self.metrics.heap_gced[cat.index()] += 1;
+            leftover[cat.index()] += 1;
         }
+        if let Some(t) = &mut self.tracer {
+            let at = self.clock.now();
+            let footprint = footprint(&self.heap);
+            t.record(TraceEvent::Finalize {
+                at,
+                leftover,
+                footprint,
+            });
+        }
+    }
+
+    /// Takes the recorded event stream (once, after the run; `None` when
+    /// tracing was off).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.take().map(|t| t.finish())
     }
 
     /// Total heap footprint in bytes (pages held).

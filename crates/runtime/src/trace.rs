@@ -1,0 +1,519 @@
+//! The runtime event tracing layer: a typed, virtual-time-stamped event
+//! stream recording every observable runtime action — allocations,
+//! `tcfree` outcomes (including the small-object allocation-index
+//! revert/cascade and the large-object dangling-span step), GC cycles
+//! with their pacing trigger, mcache flushes, and §4.6.2 map-growth
+//! frees.
+//!
+//! Like the shadow-heap sanitizer, tracing is **opt-in and invisible**:
+//! the tracer never charges the clock, never touches [`Metrics`], and
+//! never draws from the RNG, so a traced run's report (output, virtual
+//! time, metrics, steps, site profile) is bit-identical to an untraced
+//! one. Events are recorded *inside* the [`crate::Runtime`] methods both
+//! VM engines drive through identical hook sequences, so traces are also
+//! bit-identical across engines.
+//!
+//! The stream is complete: [`Trace::fold`] replays it into a [`Metrics`]
+//! value and [`Trace::reconcile`] asserts the replay matches the metrics
+//! the run actually produced — the property the workspace's
+//! reconciliation tests enforce for every corpus program.
+
+use std::collections::HashMap;
+
+use crate::heap::ObjAddr;
+use crate::metrics::{BailReason, Category, FreeSource, Metrics};
+
+/// An allocation-site id: the raw `ExprId` number assigned by the MiniGo
+/// parser (`None` on events for runtime-internal allocations that have
+/// no source expression).
+pub type TraceSiteId = u32;
+
+/// How an explicit small/large free returned memory (§5 and fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FreeStep {
+    /// Small object not on top of its span: the occupancy bit was
+    /// cleared; the slot becomes reusable only after the next sweep.
+    SlotClear,
+    /// Small object on top: the span's allocation index was reverted,
+    /// cascading over `cascade` earlier freed slots below it.
+    Revert {
+        /// Extra index steps the revert cascaded past (0 = only the
+        /// freed slot itself was reclaimed for immediate reuse).
+        cascade: u32,
+    },
+    /// Large object: fig. 9 step 1 — pages returned immediately, the
+    /// span struct left dangling until the next GC sweep (step 2, visible
+    /// as [`TraceEvent::GcEnd::dangling_retired`]).
+    LargeStep1,
+}
+
+/// One typed runtime event, stamped with the virtual time (`at`) at which
+/// it was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A heap allocation was served.
+    Alloc {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Allocator address handed to the VM.
+        addr: ObjAddr,
+        /// Allocation-site expression id, when the VM attributed one.
+        site: Option<TraceSiteId>,
+        /// Allocation category (table 8).
+        cat: Category,
+        /// Accounted bytes (rounded size class for small objects).
+        bytes: u64,
+        /// Whether the large-object path served it.
+        large: bool,
+        /// Live heap bytes after the allocation.
+        heap_live: u64,
+        /// Page-level footprint after the allocation (maxheap input).
+        footprint: u64,
+    },
+    /// The VM placed an object on the stack instead of the heap.
+    StackAlloc {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Allocation category.
+        cat: Category,
+    },
+    /// A `tcfree` deallocated an object.
+    Free {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// The freed address.
+        addr: ObjAddr,
+        /// The allocation site that produced the object, when known.
+        site: Option<TraceSiteId>,
+        /// The freed object's category.
+        cat: Category,
+        /// Which runtime entry point freed it (table 9's sources,
+        /// including `GrowMapAndFreeOld`).
+        source: FreeSource,
+        /// Bytes returned.
+        bytes: u64,
+        /// What the free did structurally (revert/cascade/dangling).
+        step: FreeStep,
+        /// Live heap bytes after the free.
+        heap_live: u64,
+    },
+    /// A `tcfree` gave up (§5's bail-outs).
+    FreeBail {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Why it bailed.
+        reason: BailReason,
+    },
+    /// Poison mode (§6.8): the free reported `Poisoned`; the object stays
+    /// allocated and the VM corrupts the payload.
+    FreePoison {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// The poisoned address.
+        addr: ObjAddr,
+    },
+    /// A simulated scheduler migration flushed a thread's mcache.
+    McacheFlush {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// The thread whose mcache was flushed.
+        thread: u32,
+    },
+    /// The GC pacer triggered: live heap crossed the goal. Opens the
+    /// concurrent-mark window.
+    GcStart {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Live heap bytes at the trigger.
+        heap_live: u64,
+        /// The pacing goal that was crossed (`next_gc`).
+        heap_goal: u64,
+        /// Length of the concurrent-mark window in allocations.
+        window: u64,
+    },
+    /// A mark+sweep cycle completed.
+    GcEnd {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Live heap bytes after the sweep (`heap_marked`).
+        heap_live: u64,
+        /// The next pacing goal derived from GOGC.
+        next_goal: u64,
+        /// Objects swept per category (table 8's "Heap GC" input).
+        swept: [u64; 3],
+        /// Bytes swept.
+        swept_bytes: u64,
+        /// Dangling large-object spans that completed fig. 9 step 2.
+        dangling_retired: u64,
+        /// Virtual ticks the cycle cost (mark + sweep).
+        ticks: u64,
+    },
+    /// End-of-run accounting: objects still live count toward the GC
+    /// columns, and the final footprint feeds `maxheap`.
+    Finalize {
+        /// Virtual timestamp (ticks).
+        at: u64,
+        /// Leftover live objects per category.
+        leftover: [u64; 3],
+        /// Final page-level footprint.
+        footprint: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's virtual timestamp.
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::Alloc { at, .. }
+            | TraceEvent::StackAlloc { at, .. }
+            | TraceEvent::Free { at, .. }
+            | TraceEvent::FreeBail { at, .. }
+            | TraceEvent::FreePoison { at, .. }
+            | TraceEvent::McacheFlush { at, .. }
+            | TraceEvent::GcStart { at, .. }
+            | TraceEvent::GcEnd { at, .. }
+            | TraceEvent::Finalize { at, .. } => at,
+        }
+    }
+}
+
+/// Initial event-buffer capacity: most corpus runs fit without a single
+/// reallocation; longer runs grow the buffer geometrically (an append
+/// buffer — events are never dropped, so folding stays exact).
+const TRACE_PREALLOC: usize = 4096;
+
+/// The recording side, owned by the [`crate::Runtime`] when
+/// [`crate::RuntimeConfig::trace`] is on.
+///
+/// Besides the event buffer it keeps an address→site side table so free
+/// events can be attributed back to the allocation site that produced
+/// the object — state the simulation itself never reads.
+#[derive(Debug)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    sites: HashMap<ObjAddr, TraceSiteId>,
+}
+
+impl Tracer {
+    /// Creates a tracer with a preallocated event buffer.
+    pub fn new() -> Self {
+        Tracer {
+            events: Vec::with_capacity(TRACE_PREALLOC),
+            sites: HashMap::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Remembers which site allocated `addr` (clearing any stale entry
+    /// left by a previous occupant of the reused address).
+    pub fn note_site(&mut self, addr: ObjAddr, site: Option<TraceSiteId>) {
+        match site {
+            Some(s) => {
+                self.sites.insert(addr, s);
+            }
+            None => {
+                self.sites.remove(&addr);
+            }
+        }
+    }
+
+    /// Takes the allocation site of `addr` (the object is gone).
+    pub fn take_site(&mut self, addr: ObjAddr) -> Option<TraceSiteId> {
+        self.sites.remove(&addr)
+    }
+
+    /// Drops site attributions for swept addresses.
+    pub fn forget_site(&mut self, addr: ObjAddr) {
+        self.sites.remove(&addr);
+    }
+
+    /// Finishes recording, yielding the immutable trace.
+    pub fn finish(self) -> Trace {
+        Trace {
+            events: self.events,
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// A completed run's event stream, carried out-of-band in the run report
+/// (like sanitizer violations).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Events in recording order (timestamps are non-decreasing).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Replays the event stream into the [`Metrics`] it implies.
+    ///
+    /// Every counter the runtime maintains is derivable from the stream;
+    /// the only exception is [`Metrics::frees_suppressed`], a
+    /// compile-time fact that never passes through the runtime (the fold
+    /// leaves it 0; [`Trace::reconcile`] copies it from the target).
+    pub fn fold(&self) -> Metrics {
+        let mut m = Metrics::default();
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Alloc {
+                    cat,
+                    bytes,
+                    footprint,
+                    ..
+                } => {
+                    m.alloced_bytes += bytes;
+                    m.alloced_objects += 1;
+                    m.heap_allocs[cat.index()] += 1;
+                    m.maxheap = m.maxheap.max(footprint);
+                }
+                TraceEvent::StackAlloc { cat, .. } => m.record_stack_alloc(cat),
+                TraceEvent::Free {
+                    cat, source, bytes, ..
+                } => {
+                    m.tcfree_attempts += 1;
+                    m.freed_bytes += bytes;
+                    m.freed_bytes_by_source[source.index()] += bytes;
+                    m.freed_objects_by_source[source.index()] += 1;
+                    m.heap_tcfreed[cat.index()] += 1;
+                }
+                TraceEvent::FreeBail { reason, .. } => {
+                    m.tcfree_attempts += 1;
+                    m.tcfree_bails[reason.index()] += 1;
+                }
+                TraceEvent::FreePoison { .. } => m.tcfree_attempts += 1,
+                TraceEvent::McacheFlush { .. } | TraceEvent::GcStart { .. } => {}
+                TraceEvent::GcEnd { swept, ticks, .. } => {
+                    m.gcs += 1;
+                    m.gc_ticks += ticks;
+                    for (i, n) in swept.iter().enumerate() {
+                        m.heap_gced[i] += n;
+                    }
+                }
+                TraceEvent::Finalize {
+                    leftover,
+                    footprint,
+                    ..
+                } => {
+                    m.maxheap = m.maxheap.max(footprint);
+                    for (i, n) in leftover.iter().enumerate() {
+                        m.heap_gced[i] += n;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Checks the folded stream reproduces `target` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn reconcile(&self, target: &Metrics) -> Result<(), String> {
+        let mut folded = self.fold();
+        // Compile-time fact, not a runtime event (see `fold`).
+        folded.frees_suppressed = target.frees_suppressed;
+        let f = format!("{folded:?}");
+        let t = format!("{target:?}");
+        if f == t {
+            Ok(())
+        } else {
+            Err(format!(
+                "trace does not reconcile with metrics\n folded:  {f}\n metrics: {t}"
+            ))
+        }
+    }
+
+    /// Samples the live-heap curve the stream implies: `(at, heap_live)`
+    /// after every event that moves the live-heap figure — the fig. 10/11
+    /// heap-size view, re-derived from events instead of end-of-run
+    /// aggregates.
+    pub fn heap_curve(&self) -> Vec<(u64, u64)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Alloc { at, heap_live, .. }
+                | TraceEvent::Free { at, heap_live, .. }
+                | TraceEvent::GcEnd { at, heap_live, .. } => Some((at, heap_live)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Peak page-level footprint seen by the stream (equals
+    /// [`Metrics::maxheap`]).
+    pub fn max_footprint(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Alloc { footprint, .. } | TraceEvent::Finalize { footprint, .. } => {
+                    Some(footprint)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of completed GC cycles in the stream.
+    pub fn gc_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::GcEnd { .. }))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::SpanId;
+
+    fn addr(n: u32) -> ObjAddr {
+        ObjAddr {
+            span: SpanId(n),
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn fold_reproduces_counters() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Alloc {
+                    at: 10,
+                    addr: addr(0),
+                    site: Some(3),
+                    cat: Category::Slice,
+                    bytes: 112,
+                    large: false,
+                    heap_live: 112,
+                    footprint: 8192,
+                },
+                TraceEvent::StackAlloc {
+                    at: 11,
+                    cat: Category::Other,
+                },
+                TraceEvent::Free {
+                    at: 20,
+                    addr: addr(0),
+                    site: Some(3),
+                    cat: Category::Slice,
+                    source: FreeSource::SliceLifetime,
+                    bytes: 112,
+                    step: FreeStep::Revert { cascade: 0 },
+                    heap_live: 0,
+                },
+                TraceEvent::FreeBail {
+                    at: 21,
+                    reason: BailReason::AlreadyFree,
+                },
+                TraceEvent::GcEnd {
+                    at: 30,
+                    heap_live: 0,
+                    next_goal: 512 * 1024,
+                    swept: [0, 2, 1],
+                    swept_bytes: 96,
+                    dangling_retired: 1,
+                    ticks: 6000,
+                },
+                TraceEvent::Finalize {
+                    at: 31,
+                    leftover: [0, 0, 1],
+                    footprint: 4096,
+                },
+            ],
+        };
+        let m = trace.fold();
+        assert_eq!(m.alloced_bytes, 112);
+        assert_eq!(m.alloced_objects, 1);
+        assert_eq!(m.freed_bytes, 112);
+        assert_eq!(m.tcfree_attempts, 2);
+        assert_eq!(m.tcfree_bails[BailReason::AlreadyFree.index()], 1);
+        assert_eq!(m.gcs, 1);
+        assert_eq!(m.gc_ticks, 6000);
+        assert_eq!(m.maxheap, 8192);
+        assert_eq!(m.stack_allocs[Category::Other.index()], 1);
+        assert_eq!(m.heap_gced, [0, 2, 2]);
+        assert_eq!(m.heap_tcfreed[Category::Slice.index()], 1);
+        trace.reconcile(&m).expect("fold reconciles with itself");
+    }
+
+    #[test]
+    fn reconcile_reports_divergence() {
+        let trace = Trace::default();
+        let target = Metrics {
+            alloced_bytes: 1,
+            ..Metrics::default()
+        };
+        let err = trace.reconcile(&target).unwrap_err();
+        assert!(err.contains("does not reconcile"), "{err}");
+    }
+
+    #[test]
+    fn reconcile_ignores_frees_suppressed() {
+        let trace = Trace::default();
+        let target = Metrics {
+            frees_suppressed: 5,
+            ..Metrics::default()
+        };
+        trace.reconcile(&target).expect("compile-time field copied");
+    }
+
+    #[test]
+    fn tracer_site_table_tracks_reuse() {
+        let mut t = Tracer::new();
+        t.note_site(addr(1), Some(7));
+        assert_eq!(t.take_site(addr(1)), Some(7));
+        assert_eq!(t.take_site(addr(1)), None);
+        t.note_site(addr(2), Some(9));
+        t.note_site(addr(2), None); // reused by an unattributed alloc
+        assert_eq!(t.take_site(addr(2)), None);
+    }
+
+    #[test]
+    fn curve_and_peaks() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Alloc {
+                    at: 1,
+                    addr: addr(0),
+                    site: None,
+                    cat: Category::Other,
+                    bytes: 64,
+                    large: false,
+                    heap_live: 64,
+                    footprint: 8192,
+                },
+                TraceEvent::GcStart {
+                    at: 2,
+                    heap_live: 64,
+                    heap_goal: 64,
+                    window: 16,
+                },
+                TraceEvent::GcEnd {
+                    at: 3,
+                    heap_live: 0,
+                    next_goal: 1024,
+                    swept: [0, 0, 1],
+                    swept_bytes: 64,
+                    dangling_retired: 0,
+                    ticks: 100,
+                },
+            ],
+        };
+        assert_eq!(trace.heap_curve(), vec![(1, 64), (3, 0)]);
+        assert_eq!(trace.max_footprint(), 8192);
+        assert_eq!(trace.gc_count(), 1);
+        assert_eq!(trace.events[1].at(), 2);
+    }
+}

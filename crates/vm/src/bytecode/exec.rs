@@ -49,6 +49,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         Some(sh) => sh.take_violations(),
         None => Vec::new(),
     };
+    let trace = vm.rt.take_trace();
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
@@ -56,6 +57,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         steps: vm.steps,
         site_profile,
         violations,
+        trace,
     })
 }
 
@@ -154,7 +156,7 @@ impl BVm {
             entry.0 += 1;
             entry.1 += size;
         }
-        let addr = self.rt.alloc(size, cat);
+        let addr = self.rt.alloc_at(size, cat, site.map(|s| s.0));
         if let Some(old) = self.addr_map.insert(addr, ObjId(self.next_obj)) {
             self.objects.remove(&old);
         }
@@ -474,7 +476,7 @@ impl BVm {
                         let obj = if *heap {
                             Some(self.new_obj(*size, Category::Other))
                         } else {
-                            self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                            self.rt.stack_alloc(Category::Other);
                             None
                         };
                         BSlot::Boxed(Rc::new(RefCell::new(v)), obj)
@@ -541,7 +543,7 @@ impl BVm {
                     let obj = if *heap {
                         Some(self.new_obj_at(*size, Category::Other, Some(*site)))
                     } else {
-                        self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                        self.rt.stack_alloc(Category::Other);
                         None
                     };
                     stack.push(Value::Ptr(PtrVal {
@@ -760,7 +762,7 @@ impl BVm {
                             Some(*site),
                         ))
                     } else {
-                        self.rt.metrics_mut().record_stack_alloc(Category::Slice);
+                        self.rt.stack_alloc(Category::Slice);
                         None
                     };
                     let zero = self.consts[*zero as usize].clone();
@@ -786,7 +788,7 @@ impl BVm {
                             Some(*site),
                         ))
                     } else {
-                        self.rt.metrics_mut().record_stack_alloc(Category::Map);
+                        self.rt.stack_alloc(Category::Map);
                         None
                     };
                     stack.push(Value::Map(MapVal {
@@ -813,7 +815,7 @@ impl BVm {
                     let obj = if *heap {
                         Some(self.new_obj_at(*size, Category::Other, Some(*site)))
                     } else {
-                        self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                        self.rt.stack_alloc(Category::Other);
                         None
                     };
                     stack.push(Value::Ptr(PtrVal {

@@ -93,6 +93,12 @@ pub struct RunOutcome {
     /// `time`, `metrics`, and `steps` are bit-identical with the
     /// sanitizer on or off.
     pub violations: Vec<ShadowViolation>,
+    /// The typed runtime event stream (present only when
+    /// [`minigo_runtime::RuntimeConfig::trace`] was on). Carried
+    /// out-of-band like `violations`: every other report field is
+    /// bit-identical with tracing on or off, and the stream itself is
+    /// bit-identical across the two VM engines.
+    pub trace: Option<minigo_runtime::Trace>,
 }
 
 /// The id type used for profile attribution (an expression id).
@@ -136,6 +142,7 @@ pub fn run(
         Some(sh) => sh.take_violations(),
         None => Vec::new(),
     };
+    let trace = vm.rt.take_trace();
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
@@ -143,6 +150,7 @@ pub fn run(
         steps: vm.steps,
         site_profile,
         violations,
+        trace,
     })
 }
 
@@ -263,7 +271,7 @@ impl<'p> Vm<'p> {
             entry.0 += 1;
             entry.1 += size;
         }
-        let addr = self.rt.alloc(size, cat);
+        let addr = self.rt.alloc_at(size, cat, site.map(|s| s.0));
         // The allocator may hand back a previously swept address.
         if let Some(old) = self.addr_map.insert(addr, ObjId(self.next_obj)) {
             self.objects.remove(&old);
@@ -477,7 +485,7 @@ impl<'p> Vm<'p> {
                     .unwrap_or(8);
                 Some(self.new_obj(size, Category::Other))
             } else {
-                self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                self.rt.stack_alloc(Category::Other);
                 None
             };
             Slot::Boxed(Rc::new(RefCell::new(value)), obj)
@@ -794,6 +802,12 @@ impl<'p> Vm<'p> {
                 .iter()
                 .map(|a| self.eval(a))
                 .collect::<Result<Vec<_>>>()?;
+            // A call in value position charges its expression-node tick
+            // here, after the arguments (the bytecode `Call` instruction's
+            // `value_pos` extra).
+            if want == 1 {
+                self.rt.tick(1);
+            }
             self.rt.tick(2);
             let out = self.call_function(fid, argv)?;
             if want != usize::MAX && out.len() != want {
@@ -804,14 +818,31 @@ impl<'p> Vm<'p> {
         Ok(vec![self.eval(e)?])
     }
 
+    /// Evaluates an expression. Each node charges its one tick at the
+    /// point where the bytecode VM's corresponding instruction charges it
+    /// (post-order: after the operands, right before the node's own
+    /// effect), so runtime trace timestamps are bit-identical across
+    /// engines. Totals per statement are unchanged — one tick per node.
     fn eval(&mut self, e: &Expr) -> Result<Value> {
-        self.rt.tick(1);
         match &e.kind {
-            ExprKind::IntLit(v) => Ok(Value::Int(*v)),
-            ExprKind::BoolLit(b) => Ok(Value::Bool(*b)),
-            ExprKind::StrLit(s) => Ok(Value::Str(Rc::from(s.as_str()))),
-            ExprKind::Nil => Ok(Value::Nil),
+            ExprKind::IntLit(v) => {
+                self.rt.tick(1);
+                Ok(Value::Int(*v))
+            }
+            ExprKind::BoolLit(b) => {
+                self.rt.tick(1);
+                Ok(Value::Bool(*b))
+            }
+            ExprKind::StrLit(s) => {
+                self.rt.tick(1);
+                Ok(Value::Str(Rc::from(s.as_str())))
+            }
+            ExprKind::Nil => {
+                self.rt.tick(1);
+                Ok(Value::Nil)
+            }
             ExprKind::Ident(_) => {
+                self.rt.tick(1);
                 let var = self
                     .res
                     .def_of(e.id)
@@ -821,30 +852,40 @@ impl<'p> Vm<'p> {
             ExprKind::Unary { op, operand } => match op {
                 UnOp::Neg => {
                     let v = self.eval_int(operand)?;
+                    self.rt.tick(1);
                     Ok(Value::Int(v.wrapping_neg()))
                 }
                 UnOp::Not => {
                     let v = self.eval_bool(operand)?;
+                    self.rt.tick(1);
                     Ok(Value::Bool(!v))
                 }
                 UnOp::Addr => self.addr_of(operand),
-                UnOp::Deref => match self.eval(operand)? {
-                    Value::Ptr(p) => {
-                        self.shadow_access(p.obj, "pointer deref read");
-                        check_poison(p.cell.borrow().clone())
+                UnOp::Deref => {
+                    let v = self.eval(operand)?;
+                    self.rt.tick(1);
+                    match v {
+                        Value::Ptr(p) => {
+                            self.shadow_access(p.obj, "pointer deref read");
+                            check_poison(p.cell.borrow().clone())
+                        }
+                        Value::Nil => Err(ExecError::NilDeref),
+                        _ => Err(ExecError::Internal("deref of non-pointer".into())),
                     }
-                    Value::Nil => Err(ExecError::NilDeref),
-                    _ => Err(ExecError::Internal("deref of non-pointer".into())),
-                },
+                }
             },
             ExprKind::Binary { op, lhs, rhs } => match op {
+                // Short-circuit operators charge up front (the lowering
+                // emits their tick before the left operand).
                 BinOp::And => {
+                    self.rt.tick(1);
                     if !self.eval_bool(lhs)? {
                         return Ok(Value::Bool(false));
                     }
                     Ok(Value::Bool(self.eval_bool(rhs)?))
                 }
                 BinOp::Or => {
+                    self.rt.tick(1);
                     if self.eval_bool(lhs)? {
                         return Ok(Value::Bool(true));
                     }
@@ -853,11 +894,13 @@ impl<'p> Vm<'p> {
                 _ => {
                     let l = self.eval(lhs)?;
                     let r = self.eval(rhs)?;
+                    self.rt.tick(1);
                     self.binop(*op, l, r)
                 }
             },
             ExprKind::Field { base, name } => {
                 let bv = self.eval(base)?;
+                self.rt.tick(1);
                 if let Value::Ptr(p) = &bv {
                     self.shadow_access(p.obj, "field read");
                 }
@@ -870,6 +913,7 @@ impl<'p> Vm<'p> {
                 match bv {
                     Value::Slice(s) => {
                         let i = self.eval_int(index)?;
+                        self.rt.tick(1);
                         if i < 0 || i as usize >= s.len {
                             return Err(ExecError::OutOfBounds {
                                 index: i,
@@ -881,6 +925,7 @@ impl<'p> Vm<'p> {
                     }
                     Value::Map(m) => {
                         let kv = self.eval(index)?;
+                        self.rt.tick(1);
                         let key = kv
                             .as_key()
                             .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
@@ -905,12 +950,14 @@ impl<'p> Vm<'p> {
                     Some(e) => self.eval_int(e)?,
                     None => 0,
                 };
+                let hi_raw = match hi {
+                    Some(e) => Some(self.eval_int(e)?),
+                    None => None,
+                };
+                self.rt.tick(1);
                 match bv {
                     Value::Slice(s) => {
-                        let hi_v = match hi {
-                            Some(e) => self.eval_int(e)?,
-                            None => s.len as i64,
-                        };
+                        let hi_v = hi_raw.unwrap_or(s.len as i64);
                         // Go allows the high bound up to cap(s).
                         if lo_v < 0 || hi_v < lo_v || hi_v as usize > s.cap() {
                             return Err(ExecError::OutOfBounds {
@@ -927,11 +974,7 @@ impl<'p> Vm<'p> {
                         }))
                     }
                     Value::Nil => {
-                        let hi_v = match hi {
-                            Some(e) => self.eval_int(e)?,
-                            None => 0,
-                        };
-                        if lo_v == 0 && hi_v == 0 {
+                        if lo_v == 0 && hi_raw.unwrap_or(0) == 0 {
                             Ok(Value::Nil)
                         } else {
                             Err(ExecError::NilDeref)
@@ -954,6 +997,7 @@ impl<'p> Vm<'p> {
                 for f in fields {
                     values.push(self.eval(f)?);
                 }
+                self.rt.tick(1);
                 let _ = name;
                 Ok(Value::Struct(values))
             }
@@ -963,6 +1007,7 @@ impl<'p> Vm<'p> {
     fn addr_of(&mut self, operand: &Expr) -> Result<Value> {
         match &operand.kind {
             ExprKind::Ident(_) => {
+                self.rt.tick(1);
                 let var = self
                     .res
                     .def_of(operand.id)
@@ -985,6 +1030,7 @@ impl<'p> Vm<'p> {
             }
             ExprKind::StructLit { .. } => {
                 let v = self.eval(operand)?;
+                self.rt.tick(1);
                 let place = self.place_of(operand);
                 let obj = if place == AllocPlace::Heap {
                     let size = self
@@ -994,7 +1040,7 @@ impl<'p> Vm<'p> {
                         .unwrap_or(8);
                     Some(self.new_obj_at(size, Category::Other, Some(operand.id)))
                 } else {
-                    self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                    self.rt.stack_alloc(Category::Other);
                     None
                 };
                 Ok(Value::Ptr(PtrVal {
@@ -1005,7 +1051,12 @@ impl<'p> Vm<'p> {
             ExprKind::Unary {
                 op: UnOp::Deref,
                 operand: inner,
-            } => self.eval(inner),
+            } => {
+                // `&*p` evaluates to `p`; the `&` node still ticks (the
+                // lowering emits its tick ahead of the inner expression).
+                self.rt.tick(1);
+                self.eval(inner)
+            }
             other => Err(ExecError::Unsupported(format!(
                 "interior pointers (&{other:?}) are not supported by the VM"
             ))),
@@ -1030,11 +1081,13 @@ impl<'p> Vm<'p> {
                         } else {
                             len
                         };
+                        self.rt.tick(1);
                         let elem_size = self.types.inline_size(elem);
                         let zero = self.zero_value(elem);
                         self.make_slice(e, len, cap, elem_size, zero)
                     }
                     Type::Map(_, v) => {
+                        self.rt.tick(1);
                         let default = self.zero_value(v);
                         let entry_size = 16 + self.types.inline_size(v);
                         self.make_map(e, default, entry_size)
@@ -1043,6 +1096,7 @@ impl<'p> Vm<'p> {
                 }
             }
             Builtin::New => {
+                self.rt.tick(1);
                 let ty = &ty_args[0];
                 let zero = self.zero_value(ty);
                 let place = self.place_of(e);
@@ -1050,7 +1104,7 @@ impl<'p> Vm<'p> {
                     let size = self.types.inline_size(ty);
                     Some(self.new_obj_at(size, Category::Other, Some(e.id)))
                 } else {
-                    self.rt.metrics_mut().record_stack_alloc(Category::Other);
+                    self.rt.stack_alloc(Category::Other);
                     None
                 };
                 Ok(Value::Ptr(PtrVal {
@@ -1061,6 +1115,7 @@ impl<'p> Vm<'p> {
             Builtin::Append => {
                 let sv = self.eval(&args[0])?;
                 let item = self.eval(&args[1])?;
+                self.rt.tick(1);
                 let elem_size = match self.types.expr(args[0].id) {
                     Some(Type::Slice(elem)) => self.types.inline_size(elem),
                     _ => 8,
@@ -1069,6 +1124,7 @@ impl<'p> Vm<'p> {
             }
             Builtin::Len => {
                 let v = self.eval(&args[0])?;
+                self.rt.tick(1);
                 match v {
                     Value::Slice(s) => Ok(Value::Int(s.len as i64)),
                     Value::Map(m) => Ok(Value::Int(m.data.borrow().len() as i64)),
@@ -1079,6 +1135,7 @@ impl<'p> Vm<'p> {
             }
             Builtin::Cap => {
                 let v = self.eval(&args[0])?;
+                self.rt.tick(1);
                 match v {
                     Value::Slice(s) => Ok(Value::Int(s.cap() as i64)),
                     Value::Nil => Ok(Value::Int(0)),
@@ -1088,6 +1145,7 @@ impl<'p> Vm<'p> {
             Builtin::Delete => {
                 let mv = self.eval(&args[0])?;
                 let kv = self.eval(&args[1])?;
+                self.rt.tick(1);
                 if let Value::Map(m) = mv {
                     let key = kv
                         .as_key()
@@ -1100,6 +1158,7 @@ impl<'p> Vm<'p> {
             }
             Builtin::Panic => {
                 let v = self.eval(&args[0])?;
+                self.rt.tick(1);
                 Err(ExecError::Panic(v.display()))
             }
             Builtin::Print => {
@@ -1107,11 +1166,13 @@ impl<'p> Vm<'p> {
                     .iter()
                     .map(|a| self.eval(a))
                     .collect::<Result<Vec<_>>>()?;
+                self.rt.tick(1);
                 self.do_print(&values);
                 Ok(Value::Int(0))
             }
             Builtin::Itoa => {
                 let v = self.eval_int(&args[0])?;
+                self.rt.tick(1);
                 Ok(Value::Str(Rc::from(v.to_string().as_str())))
             }
         }
@@ -1140,7 +1201,7 @@ impl<'p> Vm<'p> {
                 Some(site.id),
             ))
         } else {
-            self.rt.metrics_mut().record_stack_alloc(Category::Slice);
+            self.rt.stack_alloc(Category::Slice);
             None
         };
         Ok(Value::Slice(SliceVal {
@@ -1157,7 +1218,7 @@ impl<'p> Vm<'p> {
         let obj = if place == AllocPlace::Heap {
             Some(self.new_obj_at(minigo_escape::MAP_BASE_BYTES, Category::Map, Some(site.id)))
         } else {
-            self.rt.metrics_mut().record_stack_alloc(Category::Map);
+            self.rt.stack_alloc(Category::Map);
             None
         };
         Ok(Value::Map(MapVal {

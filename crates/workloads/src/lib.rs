@@ -8,6 +8,8 @@
 //!   parameter `c`.
 //! * [`corpus`] — a deterministic program generator for the §6.7
 //!   compilation-speed experiment and the complexity benchmarks.
+//! * [`regressions`] — the minimized fuzz-regression corpus under
+//!   `tests/regressions/`, plus the `ddmin`-style shrinker that feeds it.
 
 #![warn(missing_docs)]
 
@@ -15,5 +17,6 @@ pub mod corpus;
 pub mod fuzzgen;
 pub mod micro;
 pub mod programs;
+pub mod regressions;
 
 pub use programs::{all, by_name, Scale, Workload};

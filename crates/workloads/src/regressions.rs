@@ -1,0 +1,108 @@
+//! The fuzz-regression corpus: minimized MiniGo programs that once
+//! exposed (or guard against) behavioural divergences between the
+//! pipeline's configurations — Go vs GoFree output, poisoned-free
+//! divergence, or engine-disagreeing event traces.
+//!
+//! Programs live as `.mgo` files under `tests/regressions/` at the repo
+//! root; `tests/fuzz_regressions.rs` replays every one of them through
+//! the full differential property set on each test run. When a fuzzing
+//! campaign finds a new divergence, [`minimize`] shrinks the program and
+//! [`save`] adds it to the corpus.
+
+use std::path::PathBuf;
+
+/// The corpus directory (`tests/regressions/` at the repository root).
+pub fn dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/regressions"
+    ))
+}
+
+/// Loads the whole corpus as `(name, source)` pairs, sorted by name so
+/// replay order is deterministic.
+pub fn load() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir()) {
+        Ok(entries) => entries,
+        Err(_) => return out,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mgo") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unnamed")
+            .to_string();
+        let src = std::fs::read_to_string(&path).expect("readable regression program");
+        out.push((name, src));
+    }
+    out.sort();
+    out
+}
+
+/// Greedy line-based minimization (a light `ddmin`): repeatedly deletes
+/// single lines while `interesting` keeps returning `true` for the
+/// shrunk candidate, until a fixpoint. The predicate must return `false`
+/// for candidates that no longer compile or no longer diverge, so the
+/// result is the smallest line-subset that still reproduces.
+pub fn minimize(src: &str, interesting: impl Fn(&str) -> bool) -> String {
+    assert!(interesting(src), "seed program must reproduce");
+    let mut lines: Vec<&str> = src.lines().collect();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < lines.len() {
+            let mut candidate = lines.clone();
+            candidate.remove(i);
+            let text = candidate.join("\n") + "\n";
+            if interesting(&text) {
+                lines = candidate;
+                shrunk = true;
+                // Stay at the same index: the next line slid into place.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Writes a minimized reproduction into the corpus and returns its path.
+/// The caller picks a stable name (convention: `fuzz_seed_<n>` for
+/// campaign finds, a short slug for hand-reduced cases).
+pub fn save(name: &str, src: &str) -> PathBuf {
+    let dir = dir();
+    std::fs::create_dir_all(&dir).expect("create regressions dir");
+    let path = dir.join(format!("{name}.mgo"));
+    std::fs::write(&path, src).expect("write regression program");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_drops_irrelevant_lines() {
+        let src = "keep\nnoise a\nnoise b\nkeep tail\nnoise c\n";
+        let min = minimize(src, |s| s.contains("keep") && s.contains("keep tail"));
+        assert_eq!(min, "keep tail\n");
+    }
+
+    #[test]
+    fn corpus_is_seeded() {
+        let corpus = load();
+        assert!(
+            corpus.len() >= 5,
+            "expected a seeded regression corpus, found {}",
+            corpus.len()
+        );
+    }
+}
