@@ -177,5 +177,6 @@ fn main() {
         pct(without.metrics.free_ratio()),
         without.metrics.gcs
     );
+    opts.emit_observability(&with, &compiled.phase_times);
     let _ = Mode::GoFree;
 }

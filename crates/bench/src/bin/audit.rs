@@ -155,4 +155,5 @@ fn main() {
     );
     assert_eq!(violations, 0, "sanitizer must be clean on proved programs");
     println!("\nAll audit invariants hold.");
+    opts.observe_workload("json");
 }

@@ -109,4 +109,7 @@ fn main() {
         rows.iter().all(|&d| d < 0.05),
         "batching gains must be limited: {rows:?}"
     );
+    // Batching is a VM-level toggle with no pipeline Report, so the
+    // observability artifacts come from a designated workload run.
+    opts.observe_workload("json");
 }

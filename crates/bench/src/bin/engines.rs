@@ -72,6 +72,6 @@ fn main() {
         let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
         let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
         let r = execute(&compiled, Setting::GoFree, &base).expect("workload runs");
-        opts.write_trace(&r, &compiled.phase_times);
+        opts.emit_observability(&r, &compiled.phase_times);
     }
 }

@@ -58,6 +58,6 @@ fn main() {
     }
     // `--trace PATH`: export the last sweep point's GoFree event stream.
     if let Some((report, phases)) = last_traced {
-        opts.write_trace(&report, &phases);
+        opts.emit_observability(&report, &phases);
     }
 }

@@ -65,5 +65,5 @@ fn main() {
     }
     // `--trace PATH`: export run 0's GoFree event stream (compile phases
     // are not collected here; the runtime track carries everything).
-    opts.write_trace(&gofree[0], &[]);
+    opts.emit_observability(&gofree[0], &[]);
 }

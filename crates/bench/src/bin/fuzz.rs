@@ -61,4 +61,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("All generated programs behave identically under every configuration.");
+    opts.observe_workload("json");
 }

@@ -16,6 +16,7 @@ fn main() {
         "GOGC", "Go GCs", "GF GCs", "ratio", "Go time", "GF time", "ratio"
     );
     println!("{}", "-".repeat(72));
+    let mut observed = None;
     for gogc in [25u64, 50, 100, 200, 400] {
         let cfg = RunConfig {
             gogc,
@@ -25,6 +26,7 @@ fn main() {
         let gf = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
         let go_r = execute(&go, Setting::Go, &cfg).expect("runs");
         let gf_r = execute(&gf, Setting::GoFree, &cfg).expect("runs");
+        observed = Some(gf_r.clone());
         assert_eq!(go_r.output, gf_r.output);
         let gcs_ratio = if go_r.metrics.gcs == 0 {
             1.0
@@ -44,4 +46,7 @@ fn main() {
     }
     println!("\nExpected shape: tighter pacing (low GOGC) = more GCs avoided = bigger");
     println!("time benefit; generous pacing dilutes GoFree's effect.");
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
+    }
 }

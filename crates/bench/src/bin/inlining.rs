@@ -46,6 +46,7 @@ fn main() {
         "configuration", "stack objs", "heap objs", "freed", "GCs"
     );
     let mut rows = Vec::new();
+    let mut observed = None;
     for (label, mode, inline) in [
         ("Go", Mode::Go, false),
         ("Go + inline", Mode::Go, true),
@@ -75,6 +76,7 @@ fn main() {
             r.metrics.gcs
         );
         rows.push((label, stack, heap, r.metrics.free_ratio(), r.metrics.gcs));
+        observed = Some(r);
     }
     println!();
     let (_, go_stack, _, _, _) = rows[0];
@@ -92,4 +94,7 @@ fn main() {
     println!("factory results either way — its inter-procedural analysis \"provides");
     println!("enough information to analyze the caller as precisely as the");
     println!("intra-procedural analysis does\" (§4.6.4).");
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
+    }
 }

@@ -101,4 +101,7 @@ fn main() {
             "Note: host exposes {cores} core(s); speedups are bounded by available parallelism."
         );
     }
+    // The sweeps only keep fingerprints, so observability artifacts come
+    // from a designated workload run.
+    opts.observe_workload("json");
 }

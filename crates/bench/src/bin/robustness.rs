@@ -12,6 +12,7 @@ fn main() {
     println!("Robustness (§6.8): mock tcfree corrupts instead of freeing\n");
     let mut checked = 0;
     let mut failed = 0;
+    let mut observed = None;
     for w in gofree_workloads::all(opts.scale()) {
         let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
         let clean = execute(&compiled, Setting::GoFree, &opts.run_config()).expect("clean run");
@@ -35,6 +36,7 @@ fn main() {
                 }
             }
         }
+        observed = Some(clean);
     }
     println!(
         "\n{} poisoned runs, {} failures — {}",
@@ -48,5 +50,8 @@ fn main() {
     );
     if failed > 0 {
         std::process::exit(1);
+    }
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
     }
 }

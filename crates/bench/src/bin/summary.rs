@@ -103,6 +103,6 @@ fn main() {
         let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
         let c = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
         let r = execute(&c, Setting::GoFree, &base).expect("workload runs");
-        opts.write_trace(&r, &c.phase_times);
+        opts.emit_observability(&r, &c.phase_times);
     }
 }

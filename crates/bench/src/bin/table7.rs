@@ -31,6 +31,7 @@ fn main() {
     println!("{}", "-".repeat(108));
 
     let mut rows = Vec::new();
+    let mut observed = None;
     for w in gofree_workloads::all(opts.scale()) {
         let (go, gofree, gcoff) = run_three_settings(&w.source, opts.runs, &base);
         let row = table7_row(w.name, &go, &gofree, &gcoff);
@@ -50,6 +51,7 @@ fn main() {
             fmt_p(row.maxheap.p_value),
         );
         rows.push(row);
+        observed = gofree.into_iter().next();
     }
 
     let avg =
@@ -72,4 +74,7 @@ fn main() {
     );
     println!("\nPaper's averages: time 98%, GC time 87%, GCs 93%, free 14%, maxheap 96%.");
     println!("Expected shape: GoFree never loses; json/scheck/slayout benefit most; badger/hugo are flat.");
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
+    }
 }

@@ -26,6 +26,7 @@ fn main() {
     println!("{}", "-".repeat(112));
     let mut slice_shares = Vec::new();
     let mut map_shares = Vec::new();
+    let mut observed = None;
     for w in gofree_workloads::all(opts.scale()) {
         let compiled =
             gofree::compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
@@ -51,6 +52,7 @@ fn main() {
         if row.heap_tcfree_maps + row.heap_gc_maps > 0 {
             map_shares.push(row.map_share());
         }
+        observed = Some(report);
     }
     println!("{}", "-".repeat(112));
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -67,4 +69,7 @@ fn main() {
         "\nPaper: slices avg share 10%, maps avg share 34%; \"others\" are overwhelmingly stack-allocated,"
     );
     println!("which is why GoFree restricts freeing to slices and maps.");
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
+    }
 }

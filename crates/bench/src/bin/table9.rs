@@ -13,6 +13,7 @@ fn main() {
         "project", "FreeSlice()", "FreeMap()", "GrowMapAndFreeOld()"
     );
     println!("{}", "-".repeat(58));
+    let mut observed = None;
     for w in gofree_workloads::all(opts.scale()) {
         let compiled =
             gofree::compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");
@@ -25,8 +26,12 @@ fn main() {
             pct(row.free_map),
             pct(row.grow_map),
         );
+        observed = Some(report);
     }
     println!("{}", "-".repeat(58));
     println!("\nPaper's shape: Go/hugo slice-dominated (56/14/30);");
     println!("badger/json pure growth (0/0/100); scheck split (2/50/48); slayout growth (1/0/99).");
+    if let Some(r) = &observed {
+        opts.emit_observability(r, &[]);
+    }
 }

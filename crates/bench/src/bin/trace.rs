@@ -141,6 +141,6 @@ fn main() {
     println!("and the full fold/reconcile) for every run above, on both settings.");
 
     if let Some((report, phases)) = last_gofree {
-        opts.write_trace(&report, &phases);
+        opts.emit_observability(&report, &phases);
     }
 }

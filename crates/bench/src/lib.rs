@@ -41,6 +41,17 @@ pub struct HarnessOptions {
     /// (see [`HarnessOptions::write_trace`]). Tracing never changes the
     /// reported numbers — it only observes.
     pub trace: Option<String>,
+    /// When set, the binary writes the call-stack-attributed allocation
+    /// profile of its designated run to this path (plus `PATH.folded`
+    /// for `flamegraph.pl`), reconciled exactly against the run's
+    /// metrics first. Observational only, like `trace`.
+    pub profile: Option<String>,
+    /// Print a `GODEBUG=gctrace=1`-style pacing line per GC cycle of the
+    /// designated run to stderr.
+    pub gctrace: bool,
+    /// When set, the binary writes its designated run's report as JSON
+    /// (stable field names, `gofree-report/1` schema) to this path.
+    pub report_json: Option<String>,
 }
 
 impl Default for HarnessOptions {
@@ -51,6 +62,9 @@ impl Default for HarnessOptions {
             engine: gofree::VmEngine::default(),
             jobs: gofree::default_jobs(),
             trace: None,
+            profile: None,
+            gctrace: false,
+            report_json: None,
         }
     }
 }
@@ -88,12 +102,26 @@ impl HarnessOptions {
                         opts.trace = Some(path);
                     }
                 }
+                "--profile" | "-p" => {
+                    if let Some(path) = args.next() {
+                        opts.profile = Some(path);
+                    }
+                }
+                "--gctrace" => opts.gctrace = true,
+                "--report-json" => {
+                    if let Some(path) = args.next() {
+                        opts.report_json = Some(path);
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --runs N (default 99), --quick, \
                          --engine tree-walk|bytecode (default bytecode), \
                          --jobs N (default GOFREE_JOBS or 1), \
-                         --trace PATH (export a run's event trace as Chrome JSON)"
+                         --trace PATH (export a run's event trace as Chrome JSON), \
+                         --profile PATH (stack-attributed allocation profile + PATH.folded), \
+                         --gctrace (per-GC-cycle pacing log on stderr), \
+                         --report-json PATH (run report as JSON)"
                     );
                     std::process::exit(0);
                 }
@@ -118,9 +146,14 @@ impl HarnessOptions {
         RunConfig {
             engine: self.engine,
             jobs: self.jobs,
-            trace: self.trace.is_some(),
+            trace: self.observing(),
             ..eval_run_config()
         }
+    }
+
+    /// True when any observability flag needs the runtime event trace.
+    pub fn observing(&self) -> bool {
+        self.trace.is_some() || self.profile.is_some() || self.gctrace
     }
 
     /// Exports a traced report's event stream to the `--trace` path as
@@ -142,6 +175,76 @@ impl HarnessOptions {
         let json = gofree::chrome_trace_json(trace, phases);
         std::fs::write(path, json).expect("trace file written");
         eprintln!("[trace] wrote {} events to {path}", trace.events.len());
+    }
+
+    /// Emits every requested observability artifact for a binary's
+    /// designated run: the Chrome trace (`--trace`), the stack-attributed
+    /// allocation profile and its folded-stack companion (`--profile`),
+    /// the per-cycle pacing log (`--gctrace`), and the JSON report
+    /// (`--report-json`). A no-op for artifacts not asked for, so every
+    /// experiment binary can call it unconditionally after its run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observability flag is set but the report carries no
+    /// trace, if trace or profile reconciliation fails, or if an output
+    /// file cannot be written.
+    pub fn emit_observability(&self, report: &gofree::Report, phases: &[gofree::PhaseTime]) {
+        self.write_trace(report, phases);
+        if let Some(path) = &self.profile {
+            let trace = report.trace.as_ref().expect("profiled run carries a trace");
+            let profile = gofree::Profile::build(trace);
+            profile
+                .reconcile(&report.metrics)
+                .expect("profile reconciles with metrics");
+            // Bench binaries have no source text in hand, so drag sites
+            // keep their numeric labels (`minigo --profile` resolves
+            // them to line:col).
+            let labels = std::collections::HashMap::new();
+            let text = gofree::profile_report(&profile, trace, &labels);
+            std::fs::write(path, text).expect("profile file written");
+            let folded =
+                gofree::folded_stacks(&profile, &trace.stacks, gofree::FoldedMetric::AllocBytes);
+            let folded_path = format!("{path}.folded");
+            std::fs::write(&folded_path, folded).expect("folded profile written");
+            eprintln!(
+                "[profile] {} stacks reconciled; wrote {path} and {folded_path}",
+                trace.stacks.len()
+            );
+        }
+        if self.gctrace {
+            let trace = report.trace.as_ref().expect("traced run carries a trace");
+            for line in gofree::gctrace_lines(trace) {
+                eprintln!("{line}");
+            }
+        }
+        if let Some(path) = &self.report_json {
+            std::fs::write(path, gofree::report_json(report)).expect("report JSON written");
+            eprintln!("[report] wrote {path}");
+        }
+    }
+
+    /// Designated observability run for binaries whose measurement loop
+    /// yields no reusable [`gofree::Report`] (VM-level toggles,
+    /// fingerprint-only sweeps): compile the named workload at the
+    /// harness scale, run it once under GoFree with the harness
+    /// configuration, and emit the requested artifacts. A no-op when no
+    /// observability flag is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is unknown, fails to compile or run, or
+    /// [`HarnessOptions::emit_observability`] fails.
+    pub fn observe_workload(&self, name: &str) {
+        if !self.observing() && self.report_json.is_none() {
+            return;
+        }
+        let w = gofree_workloads::by_name(name, self.scale()).expect("workload exists");
+        let compiled = gofree::compile(&w.source, &Setting::GoFree.compile_options())
+            .expect("workload compiles");
+        let report =
+            gofree::execute(&compiled, Setting::GoFree, &self.run_config()).expect("workload runs");
+        self.emit_observability(&report, &compiled.phase_times);
     }
 }
 

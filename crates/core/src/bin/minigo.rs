@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--audit MODE]
-//!            [--sanitize] [--explain] [--trace PATH] <file>
+//!            [--sanitize] [--explain] [--trace PATH] [--profile PATH]
+//!            [--gctrace] [--report-json PATH] [--trace-cap N] <file>
 //! minigo build [--go] [--audit MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -19,6 +20,13 @@
 //! event stream, writes it as Chrome `trace_event` JSON to PATH, prints
 //! the per-site timeline table to stderr, and fails the command if the
 //! folded trace does not reconcile exactly with the run's metrics.
+//! `--profile PATH` writes the call-stack-attributed allocation profile
+//! (plus `PATH.folded` for `flamegraph.pl`) and fails the command if the
+//! profile does not reconcile exactly with the run's metrics.
+//! `--gctrace` prints a Go `GODEBUG=gctrace=1`-style pacing line per GC
+//! cycle to stderr. `--report-json PATH` writes the run report as JSON
+//! with stable field names. `--trace-cap N` bounds the in-memory event
+//! buffer; a truncated trace fails reconciliation loudly.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -47,6 +55,10 @@ struct Cli {
     sanitize: bool,
     explain: bool,
     trace: Option<String>,
+    profile: Option<String>,
+    gctrace: bool,
+    report_json: Option<String>,
+    trace_cap: Option<usize>,
     func: Option<String>,
     file: Option<String>,
 }
@@ -62,6 +74,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         sanitize: false,
         explain: false,
         trace: None,
+        profile: None,
+        gctrace: false,
+        report_json: None,
+        trace_cap: None,
         func: None,
         file: None,
     };
@@ -101,6 +117,24 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--explain" => cli.explain = true,
             "--trace" => {
                 cli.trace = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
+            "--profile" => {
+                cli.profile = Some(it.next().ok_or("--profile needs an output path")?.clone());
+            }
+            "--gctrace" => cli.gctrace = true,
+            "--report-json" => {
+                cli.report_json = Some(
+                    it.next()
+                        .ok_or("--report-json needs an output path")?
+                        .clone(),
+                );
+            }
+            "--trace-cap" => {
+                cli.trace_cap = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--trace-cap needs a number")?,
+                );
             }
             "--func" => {
                 cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
@@ -155,7 +189,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 seed: cli.seed,
                 jobs: cli.jobs,
                 sanitize: cli.sanitize,
-                trace: cli.trace.is_some(),
+                trace: cli.trace.is_some() || cli.profile.is_some() || cli.gctrace,
+                trace_cap: cli.trace_cap,
                 ..RunConfig::default()
             };
             // `--runs N` executes a seeded distribution (fanned across
@@ -184,7 +219,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                     times.iter().max().unwrap(),
                 );
             }
-            if let Some(path) = &cli.trace {
+            if cfg.trace {
                 let trace = report
                     .trace
                     .as_ref()
@@ -192,8 +227,6 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 trace
                     .reconcile(&report.metrics)
                     .map_err(|e| format!("[trace] {e}"))?;
-                let json = gofree::chrome_trace_json(trace, &compiled.phase_times);
-                std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
                 let spans = collect_spans(&compiled.program);
                 let labels: HashMap<u32, String> = spans
                     .iter()
@@ -202,11 +235,49 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                         (id.0, format!("{line}:{col} {what}"))
                     })
                     .collect();
-                eprint!("{}", gofree::timeline_table(trace, &labels));
-                eprintln!(
-                    "[trace] {} events reconciled with metrics; wrote {path}",
-                    trace.events.len()
-                );
+                if let Some(path) = &cli.trace {
+                    let json = gofree::chrome_trace_json(trace, &compiled.phase_times);
+                    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+                    eprint!("{}", gofree::timeline_table(trace, &labels));
+                    eprintln!(
+                        "[trace] {} events reconciled with metrics; wrote {path}",
+                        trace.events.len()
+                    );
+                }
+                if let Some(path) = &cli.profile {
+                    let profile = gofree::Profile::build(trace);
+                    profile
+                        .reconcile(&report.metrics)
+                        .map_err(|e| format!("[profile] {e}"))?;
+                    let text = gofree::profile_report(&profile, trace, &labels);
+                    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                    let folded = gofree::folded_stacks(
+                        &profile,
+                        &trace.stacks,
+                        gofree::FoldedMetric::AllocBytes,
+                    );
+                    let folded_path = format!("{path}.folded");
+                    std::fs::write(&folded_path, folded)
+                        .map_err(|e| format!("{folded_path}: {e}"))?;
+                    eprintln!(
+                        "[profile] {} stacks reconciled with metrics; wrote {path} and {folded_path}",
+                        trace.stacks.len()
+                    );
+                }
+                if cli.gctrace {
+                    for line in gofree::gctrace_lines(trace) {
+                        eprintln!("{line}");
+                    }
+                }
+            }
+            if let Some(path) = &cli.report_json {
+                let json = if cli.runs > 1 {
+                    gofree::reports_json(&reports)
+                } else {
+                    gofree::report_json(report)
+                };
+                std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("[report] wrote {path}");
             }
             if cli.sanitize {
                 let total: usize = reports.iter().map(|r| r.violations.len()).sum();
@@ -295,7 +366,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
      [--runs N] [--jobs N] [--audit off|warn|deny] [--sanitize] [--explain] [--trace PATH] \
-     [--func NAME] <file>"
+     [--profile PATH] [--gctrace] [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
         .to_string()
 }
 

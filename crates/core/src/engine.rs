@@ -121,6 +121,10 @@ pub struct RunConfig {
     /// ([`minigo_runtime::Trace::reconcile`]), and it is bit-identical
     /// across the two VM engines and invariant under `jobs`.
     pub trace: bool,
+    /// Hard cap on the tracer's event buffer (`None` = unbounded, the
+    /// default). A capped run's trace counts what it dropped and then
+    /// refuses to reconcile — truncation is always loud.
+    pub trace_cap: Option<usize>,
     /// Worker threads for [`run_distribution`]/[`run_matrix`] fan-out
     /// (1 = sequential). Every observable — outputs, virtual times,
     /// metrics, site profiles — is invariant under `jobs`: per-run seeds
@@ -143,6 +147,7 @@ impl Default for RunConfig {
             engine: VmEngine::default(),
             sanitize: false,
             trace: false,
+            trace_cap: None,
             jobs: default_jobs(),
         }
     }
@@ -203,6 +208,7 @@ pub fn execute(
         jitter: cfg.jitter,
         poison: cfg.poison,
         trace: cfg.trace,
+        trace_cap: cfg.trace_cap,
         ..RuntimeConfig::default()
     };
     let vm_cfg = VmConfig {

@@ -24,6 +24,8 @@
 pub mod engine;
 pub mod experiment;
 pub mod pipeline;
+pub mod profile;
+pub mod report;
 pub mod stats;
 pub mod trace;
 
@@ -36,12 +38,17 @@ pub use experiment::{
     MetricComparison, Table7Row, Table8Row, Table9Row,
 };
 pub use pipeline::{compile, CompileOptions, Compiled, PhaseTime};
+pub use profile::{
+    drag_table, folded_stacks, gctrace_lines, heap_snapshot_table, profile_report, FoldedMetric,
+};
+pub use report::{report_json, reports_json, REPORT_SCHEMA};
 pub use stats::{mean, stdev, welch_t_test, Welch};
 pub use trace::{chrome_trace_json, timeline_table};
 
 // Re-export the pieces callers commonly need alongside the facade.
 pub use minigo_escape::{AuditMode, AuditReport, AuditSite, AuditVerdict, FreeTargets, Mode};
 pub use minigo_runtime::{
-    Category, FreeSource, PoisonMode, ShadowViolation, Trace, TraceEvent, ViolationKind,
+    Category, FreeSource, HeapSnapshot, PoisonMode, Profile, ShadowViolation, StackStat,
+    StackTable, Trace, TraceEvent, ViolationKind,
 };
-pub use minigo_vm::ExecError;
+pub use minigo_vm::{ExecError, SiteProfile};

@@ -1,0 +1,144 @@
+//! Machine-readable report export (`--report-json PATH`).
+//!
+//! A hand-rolled JSON writer — the workspace deliberately has no
+//! serialization dependency — emitting every [`Report`] field under
+//! **stable names** (the `schema` tag is bumped if they ever change), so
+//! CI and external tooling can consume run results without scraping the
+//! text tables. Violations and the trace are summarized by count, not
+//! inlined: the trace has its own exporters (`--trace`, `--profile`).
+
+use std::fmt::Write as _;
+
+use crate::engine::Report;
+use crate::trace::esc;
+use minigo_runtime::Metrics;
+
+/// The schema tag stamped into every export; bump when field names or
+/// meanings change.
+pub const REPORT_SCHEMA: &str = "gofree-report/1";
+
+fn u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"alloced_bytes\":{},\"alloced_objects\":{},\"freed_bytes\":{},\
+         \"freed_bytes_by_source\":{},\"freed_objects_by_source\":{},\
+         \"tcfree_attempts\":{},\"tcfree_bails\":{},\"gcs\":{},\"gc_ticks\":{},\
+         \"maxheap\":{},\"stack_allocs\":{},\"heap_allocs\":{},\"heap_tcfreed\":{},\
+         \"heap_gced\":{},\"frees_suppressed\":{}",
+        m.alloced_bytes,
+        m.alloced_objects,
+        m.freed_bytes,
+        u64_array(&m.freed_bytes_by_source),
+        u64_array(&m.freed_objects_by_source),
+        m.tcfree_attempts,
+        u64_array(&m.tcfree_bails),
+        m.gcs,
+        m.gc_ticks,
+        m.maxheap,
+        u64_array(&m.stack_allocs),
+        u64_array(&m.heap_allocs),
+        u64_array(&m.heap_tcfreed),
+        u64_array(&m.heap_gced),
+        m.frees_suppressed,
+    );
+    out.push('}');
+    out
+}
+
+/// Renders one run report as a JSON object.
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"schema\":\"{REPORT_SCHEMA}\",\"output\":\"{}\",\"time\":{},\"steps\":{},\
+         \"metrics\":{},",
+        esc(&report.output),
+        report.time,
+        report.steps,
+        metrics_json(&report.metrics),
+    );
+    out.push_str("\"site_profile\":[");
+    for (i, s) in report.site_profile.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"site\":{},\"count\":{},\"bytes\":{}}}",
+            s.site.0, s.count, s.bytes
+        );
+    }
+    out.push_str("],");
+    let (trace_events, events_dropped) = match &report.trace {
+        Some(t) => (t.events.len() as u64, t.events_dropped),
+        None => (0, 0),
+    };
+    let _ = write!(
+        out,
+        "\"violations\":{},\"trace_events\":{trace_events},\"events_dropped\":{events_dropped}}}",
+        report.violations.len(),
+    );
+    out.push('\n');
+    out
+}
+
+/// Renders a batch of run reports (e.g. a `--runs N` distribution) as a
+/// JSON array, in run order.
+pub fn reports_json(reports: &[Report]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(report_json(r).trim_end());
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_balanced_and_stable() {
+        let report = Report {
+            output: "hi \"there\"\n".to_string(),
+            time: 123,
+            steps: 45,
+            metrics: Metrics {
+                alloced_bytes: 1024,
+                alloced_objects: 3,
+                ..Metrics::default()
+            },
+            site_profile: vec![crate::SiteProfile {
+                site: minigo_syntax::ExprId(7),
+                count: 3,
+                bytes: 1024,
+            }],
+            violations: Vec::new(),
+            trace: None,
+        };
+        let json = report_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for needle in [
+            "\"schema\":\"gofree-report/1\"",
+            "\"output\":\"hi \\\"there\\\"\\n\"",
+            "\"alloced_bytes\":1024",
+            "\"site\":7",
+            "\"trace_events\":0",
+            "\"events_dropped\":0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let arr = reports_json(&[report.clone(), report]);
+        assert!(arr.starts_with('[') && arr.trim_end().ends_with(']'));
+        assert_eq!(arr.matches("\"schema\"").count(), 2);
+    }
+}

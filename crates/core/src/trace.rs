@@ -21,8 +21,9 @@ use minigo_runtime::{FreeStep, Trace, TraceEvent};
 
 use crate::pipeline::PhaseTime;
 
-/// Escapes a string for embedding in a JSON string literal.
-fn esc(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (shared with
+/// the `--report-json` writer).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -83,6 +84,7 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
                 at,
                 addr,
                 site,
+                stack,
                 cat,
                 bytes,
                 large,
@@ -91,20 +93,24 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
             } => format!(
                 "{{\"name\":\"alloc\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
                  \"tid\":1,\"ts\":{at},\"args\":{{\"addr\":\"{}\",\"site\":{},\
-                 \"kind\":\"{cat:?}\",\"bytes\":{bytes},\"large\":{large}}}}},\n\
+                 \"stack\":\"{}\",\"kind\":\"{cat:?}\",\"bytes\":{bytes},\"large\":{large}}}}},\n\
                  {{\"name\":\"heap\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":{at},\
                  \"args\":{{\"live\":{heap_live},\"footprint\":{footprint}}}}}",
                 fmt_addr(addr),
                 fmt_site(site),
+                esc(&trace.stacks.folded(stack)),
             ),
-            TraceEvent::StackAlloc { at, cat } => format!(
+            TraceEvent::StackAlloc { at, cat, stack } => format!(
                 "{{\"name\":\"stack-alloc\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
-                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"kind\":\"{cat:?}\"}}}}"
+                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"kind\":\"{cat:?}\",\
+                 \"stack\":\"{}\"}}}}",
+                esc(&trace.stacks.folded(stack)),
             ),
             TraceEvent::Free {
                 at,
                 addr,
                 site,
+                stack,
                 cat,
                 source,
                 bytes,
@@ -113,21 +119,37 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
             } => format!(
                 "{{\"name\":\"free\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
                  \"tid\":1,\"ts\":{at},\"args\":{{\"addr\":\"{}\",\"site\":{},\
-                 \"kind\":\"{cat:?}\",\"source\":\"{source:?}\",\"bytes\":{bytes},\
-                 \"step\":\"{}\"}}}},\n\
+                 \"stack\":\"{}\",\"kind\":\"{cat:?}\",\"source\":\"{source:?}\",\
+                 \"bytes\":{bytes},\"step\":\"{}\"}}}},\n\
                  {{\"name\":\"heap\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":{at},\
                  \"args\":{{\"live\":{heap_live}}}}}",
                 fmt_addr(addr),
                 fmt_site(site),
+                esc(&trace.stacks.folded(stack)),
                 fmt_step(step),
             ),
-            TraceEvent::FreeBail { at, reason } => format!(
+            TraceEvent::FreeBail { at, reason, stack } => format!(
                 "{{\"name\":\"free-bail\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
-                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"reason\":\"{reason:?}\"}}}}"
+                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"reason\":\"{reason:?}\",\
+                 \"stack\":\"{}\"}}}}",
+                esc(&trace.stacks.folded(stack)),
             ),
-            TraceEvent::FreePoison { at, addr } => format!(
+            TraceEvent::FreePoison { at, addr, stack } => format!(
                 "{{\"name\":\"free-poison\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
-                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"addr\":\"{}\"}}}}",
+                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"addr\":\"{}\",\
+                 \"stack\":\"{}\"}}}}",
+                fmt_addr(addr),
+                esc(&trace.stacks.folded(stack)),
+            ),
+            TraceEvent::Sweep {
+                at,
+                addr,
+                cat,
+                bytes,
+            } => format!(
+                "{{\"name\":\"sweep\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"addr\":\"{}\",\
+                 \"kind\":\"{cat:?}\",\"bytes\":{bytes}}}}}",
                 fmt_addr(addr),
             ),
             TraceEvent::McacheFlush { at, thread } => format!(
@@ -317,6 +339,8 @@ mod tests {
     use minigo_runtime::{Category, FreeSource, ObjAddr, SpanId};
 
     fn sample() -> Trace {
+        let mut stacks = minigo_runtime::StackTable::new();
+        let main = stacks.push(minigo_runtime::ROOT_STACK, "main");
         Trace {
             events: vec![
                 TraceEvent::Alloc {
@@ -326,6 +350,7 @@ mod tests {
                         slot: 0,
                     },
                     site: Some(3),
+                    stack: main,
                     cat: Category::Slice,
                     bytes: 112,
                     large: false,
@@ -339,22 +364,34 @@ mod tests {
                         slot: 0,
                     },
                     site: Some(3),
+                    stack: main,
                     cat: Category::Slice,
                     source: FreeSource::SliceLifetime,
                     bytes: 112,
                     step: FreeStep::Revert { cascade: 0 },
                     heap_live: 0,
                 },
+                TraceEvent::Sweep {
+                    at: 100,
+                    addr: ObjAddr {
+                        span: SpanId(1),
+                        slot: 0,
+                    },
+                    cat: Category::Other,
+                    bytes: 64,
+                },
                 TraceEvent::GcEnd {
                     at: 100,
                     heap_live: 0,
                     next_goal: 512 * 1024,
-                    swept: [0, 0, 0],
-                    swept_bytes: 0,
+                    swept: [0, 0, 1],
+                    swept_bytes: 64,
                     dangling_retired: 0,
                     ticks: 40,
                 },
             ],
+            stacks,
+            ..Trace::default()
         }
     }
 
@@ -382,9 +419,11 @@ mod tests {
             "\"name\":\"parse\"",
             "\"name\":\"alloc\"",
             "\"name\":\"free\"",
+            "\"name\":\"sweep\"",
             "\"name\":\"gc\"",
             "\"name\":\"heap\"",
             "\"step\":\"revert+0\"",
+            "\"stack\":\"main\"",
             "\"ts\":60", // gc X event starts at end - ticks
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

@@ -1,5 +1,7 @@
 //! Golden snapshot tests for the user-facing CLI surfaces: the
-//! `--explain` per-site diagnostics and the `--trace` timeline table.
+//! `--explain` per-site diagnostics, the `--trace` timeline table, the
+//! `--profile` report + folded stacks, the `--gctrace` pacing log, and
+//! the `--report-json` export.
 //! Expected outputs live under `tests/golden/`; update them after an
 //! intentional change with
 //!
@@ -103,5 +105,71 @@ fn trace_timeline_snapshot() {
     assert!(json_text.contains("\"escape-solve\""));
     assert!(json_text.contains("\"alloc\""));
     assert!(json_text.contains("\"free\""));
+    assert!(json_text.contains("\"stack\""));
     let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn profile_report_snapshot() {
+    // `minigo run --profile` writes the stack-attributed allocation
+    // report (totals, top stacks, drag table, heap snapshots) plus the
+    // folded-stack companion; seeded, so both are bit-stable.
+    let file = repo_file("examples/programs/sieve.mgo");
+    let out_path = std::env::temp_dir().join("gofree-golden-profile.txt");
+    let out_str = out_path.to_str().unwrap().to_string();
+    let cli = run_minigo(&[
+        "run",
+        "--seed",
+        "7",
+        "--profile",
+        &out_str,
+        file.to_str().unwrap(),
+    ]);
+    let normalised = cli.replace(&out_str, "<profile.txt>");
+    assert_golden("profile_cli_sieve", &normalised);
+
+    let report = std::fs::read_to_string(&out_path).expect("profile written");
+    assert_golden("profile_report_sieve", &report);
+    let folded =
+        std::fs::read_to_string(format!("{out_str}.folded")).expect("folded profile written");
+    assert_golden("profile_folded_sieve", &folded);
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(format!("{out_str}.folded"));
+}
+
+#[test]
+fn gctrace_snapshot() {
+    // `--gctrace` under the plain Go pipeline on wordcount crosses the
+    // pacing goal, so the log has at least one cycle line; the seed pins
+    // the stream exactly.
+    let file = repo_file("examples/programs/wordcount.mgo");
+    let out = run_minigo(&[
+        "run",
+        "--go",
+        "--seed",
+        "7",
+        "--gctrace",
+        file.to_str().unwrap(),
+    ]);
+    assert!(out.contains("gc 1 @"), "no pacing line in:\n{out}");
+    assert_golden("gctrace_wordcount", &out);
+}
+
+#[test]
+fn report_json_snapshot() {
+    let file = repo_file("examples/programs/sieve.mgo");
+    let out_path = std::env::temp_dir().join("gofree-golden-report.json");
+    let out_str = out_path.to_str().unwrap().to_string();
+    let cli = run_minigo(&[
+        "run",
+        "--seed",
+        "7",
+        "--report-json",
+        &out_str,
+        file.to_str().unwrap(),
+    ]);
+    assert!(cli.contains("[report] wrote"));
+    let json = std::fs::read_to_string(&out_path).expect("report json written");
+    assert_golden("report_json_sieve", &json);
+    let _ = std::fs::remove_file(&out_path);
 }

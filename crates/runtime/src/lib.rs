@@ -29,6 +29,7 @@
 pub mod clock;
 pub mod heap;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod runtime;
 pub mod shadow;
@@ -38,8 +39,9 @@ pub mod trace;
 pub use clock::{Clock, CostModel};
 pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SmallFree, SpanId, SweepOutcome};
 pub use metrics::{BailReason, Category, FreeSource, Metrics};
+pub use profile::{Profile, SiteDrag, StackId, StackStat, StackTable, DRAG_BUCKETS, ROOT_STACK};
 pub use rng::SimRng;
 pub use runtime::{FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
 pub use shadow::{FreeCheck, ShadowHeap, ShadowViolation, ViolationKind};
 pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};
-pub use trace::{FreeStep, Trace, TraceEvent, Tracer};
+pub use trace::{ClassOccupancy, FreeStep, HeapSnapshot, Trace, TraceEvent, Tracer};

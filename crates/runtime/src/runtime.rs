@@ -15,9 +15,10 @@ use std::collections::HashSet;
 use crate::clock::{Clock, CostModel};
 use crate::heap::{footprint, Heap, ObjAddr, SweepOutcome};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
+use crate::profile::ROOT_STACK;
 use crate::rng::SimRng;
 use crate::sizeclass::{class_for, class_size, large_pages, MAX_SMALL_SIZE};
-use crate::trace::{FreeStep, Trace, TraceEvent, Tracer};
+use crate::trace::{FreeStep, HeapSnapshot, Trace, TraceEvent, Tracer};
 
 /// How the §6.8 robustness mock corrupts memory instead of freeing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,11 @@ pub struct RuntimeConfig {
     /// clock charges, no metrics, no RNG draws — the report is
     /// bit-identical with tracing on or off.
     pub trace: bool,
+    /// Hard cap on the tracer's event buffer (`None` = unbounded). A
+    /// capped tracer counts what it drops; the truncated trace then
+    /// refuses to reconcile instead of silently folding a partial
+    /// stream.
+    pub trace_cap: Option<usize>,
     /// Tick charges.
     pub costs: CostModel,
 }
@@ -77,6 +83,7 @@ impl Default for RuntimeConfig {
             gc_assist_divisor: 16,
             poison: PoisonMode::Off,
             trace: false,
+            trace_cap: None,
             costs: CostModel::default(),
         }
     }
@@ -114,6 +121,10 @@ pub struct Runtime {
     /// Boxed so the untraced hot path only carries a pointer-sized
     /// `None` check.
     tracer: Option<Box<Tracer>>,
+    /// The VM's current interned call-stack id, stamped onto traced
+    /// alloc/free/bail events ([`ROOT_STACK`] when no VM frame is
+    /// active). Pure trace metadata: never read by the simulation.
+    cur_stack: u32,
 }
 
 impl Runtime {
@@ -123,7 +134,7 @@ impl Runtime {
         let heap = Heap::new(cfg.threads as usize);
         let next_gc = cfg.min_heap;
         let rng = SimRng::seed_from_u64(cfg.seed);
-        let tracer = cfg.trace.then(|| Box::new(Tracer::new()));
+        let tracer = cfg.trace.then(|| Box::new(Tracer::with_cap(cfg.trace_cap)));
         Runtime {
             cfg,
             heap,
@@ -136,7 +147,16 @@ impl Runtime {
             next_gc,
             live_objects: 0,
             tracer,
+            cur_stack: ROOT_STACK,
         }
+    }
+
+    /// Sets the interned call-stack id stamped onto subsequent traced
+    /// events. The VM engines call this at every function entry/exit;
+    /// with tracing off it is a no-op either way (the field is trace
+    /// metadata only).
+    pub fn set_stack(&mut self, stack: u32) {
+        self.cur_stack = stack;
     }
 
     /// The configuration.
@@ -239,6 +259,7 @@ impl Runtime {
                 at: self.clock.now(),
                 addr,
                 site,
+                stack: self.cur_stack,
                 cat,
                 bytes,
                 large,
@@ -277,7 +298,11 @@ impl Runtime {
         self.metrics.record_stack_alloc(cat);
         if let Some(t) = &mut self.tracer {
             let at = self.clock.now();
-            t.record(TraceEvent::StackAlloc { at, cat });
+            t.record(TraceEvent::StackAlloc {
+                at,
+                cat,
+                stack: self.cur_stack,
+            });
         }
     }
 
@@ -342,7 +367,11 @@ impl Runtime {
         if self.cfg.poison != PoisonMode::Off {
             if let Some(t) = &mut self.tracer {
                 let at = self.clock.now();
-                t.record(TraceEvent::FreePoison { at, addr });
+                t.record(TraceEvent::FreePoison {
+                    at,
+                    addr,
+                    stack: self.cur_stack,
+                });
             }
             return FreeOutcome::Poisoned;
         }
@@ -372,6 +401,7 @@ impl Runtime {
                 at: self.clock.now(),
                 addr,
                 site,
+                stack: self.cur_stack,
                 cat,
                 source,
                 bytes,
@@ -386,7 +416,11 @@ impl Runtime {
         self.metrics.tcfree_bails[reason.index()] += 1;
         if let Some(t) = &mut self.tracer {
             let at = self.clock.now();
-            t.record(TraceEvent::FreeBail { at, reason });
+            t.record(TraceEvent::FreeBail {
+                at,
+                reason,
+                stack: self.cur_stack,
+            });
         }
         FreeOutcome::Bailed(reason)
     }
@@ -395,6 +429,15 @@ impl Runtime {
     /// VM computed. Returns the sweep result so the VM can drop payloads.
     pub fn collect(&mut self, marked: &HashSet<ObjAddr>) -> SweepOutcome {
         let before = self.clock.now();
+        // Snapshot the heap at the safepoint, before the sweep runs, so
+        // the cycle's garbage and any fig. 9 dangling spans are visible.
+        if let Some(t) = &mut self.tracer {
+            t.snapshot(HeapSnapshot::capture(
+                &self.heap,
+                before,
+                Some(self.metrics.gcs + 1),
+            ));
+        }
         // Mark cost: proportional to survivors and their bytes.
         let mut mark_cost = self.cfg.costs.gc_cycle_base;
         for addr in marked {
@@ -422,15 +465,25 @@ impl Runtime {
         let ticks = self.clock.now() - before;
         self.metrics.gc_ticks += ticks;
         if let Some(t) = &mut self.tracer {
+            let at = self.clock.now();
             let mut swept = [0u64; 3];
             let mut swept_bytes = 0;
             for &(addr, cat, bytes) in &out.freed {
                 swept[cat.index()] += 1;
                 swept_bytes += bytes;
                 t.forget_site(addr);
+                // Per-object detail so the profile builder can attribute
+                // swept garbage back to its allocating stack; the fold
+                // counts only the GcEnd totals below.
+                t.record(TraceEvent::Sweep {
+                    at,
+                    addr,
+                    cat,
+                    bytes,
+                });
             }
             t.record(TraceEvent::GcEnd {
-                at: self.clock.now(),
+                at,
                 heap_live: heap_marked,
                 next_goal: self.next_gc,
                 swept,
@@ -454,6 +507,8 @@ impl Runtime {
         if let Some(t) = &mut self.tracer {
             let at = self.clock.now();
             let footprint = footprint(&self.heap);
+            // Final heap picture: what the run leaves behind.
+            t.snapshot(HeapSnapshot::capture(&self.heap, at, None));
             t.record(TraceEvent::Finalize {
                 at,
                 leftover,

@@ -17,11 +17,24 @@
 //! value and [`Trace::reconcile`] asserts the replay matches the metrics
 //! the run actually produced — the property the workspace's
 //! reconciliation tests enforce for every corpus program.
+//!
+//! On top of the raw stream the trace carries three profiling layers:
+//! every allocation/free/bail event is stamped with an interned
+//! **call-stack id** (see [`crate::profile::StackTable`], filled in by
+//! the VM engines), per-object [`TraceEvent::Sweep`] events let the
+//! profile builder attribute GC-reclaimed garbage back to its allocating
+//! stack, and [`HeapSnapshot`]s capture per-size-class occupancy and
+//! fragmentation at every GC safepoint. The event buffer may be capped
+//! ([`Tracer::with_cap`]); a capped stream counts what it dropped and
+//! [`Trace::reconcile`] then fails loudly instead of reconciling a
+//! truncated stream by accident.
 
 use std::collections::HashMap;
 
-use crate::heap::ObjAddr;
+use crate::heap::{footprint, Heap, ObjAddr};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
+use crate::profile::{StackId, StackTable};
+use crate::sizeclass::PAGE_SIZE;
 
 /// An allocation-site id: the raw `ExprId` number assigned by the MiniGo
 /// parser (`None` on events for runtime-internal allocations that have
@@ -59,6 +72,8 @@ pub enum TraceEvent {
         addr: ObjAddr,
         /// Allocation-site expression id, when the VM attributed one.
         site: Option<TraceSiteId>,
+        /// Interned call stack performing the allocation.
+        stack: StackId,
         /// Allocation category (table 8).
         cat: Category,
         /// Accounted bytes (rounded size class for small objects).
@@ -76,6 +91,8 @@ pub enum TraceEvent {
         at: u64,
         /// Allocation category.
         cat: Category,
+        /// Interned call stack performing the allocation.
+        stack: StackId,
     },
     /// A `tcfree` deallocated an object.
     Free {
@@ -85,6 +102,10 @@ pub enum TraceEvent {
         addr: ObjAddr,
         /// The allocation site that produced the object, when known.
         site: Option<TraceSiteId>,
+        /// Interned call stack performing the free (the object's
+        /// *allocating* stack is recovered by the profile builder from
+        /// the address's matching [`TraceEvent::Alloc`]).
+        stack: StackId,
         /// The freed object's category.
         cat: Category,
         /// Which runtime entry point freed it (table 9's sources,
@@ -103,6 +124,8 @@ pub enum TraceEvent {
         at: u64,
         /// Why it bailed.
         reason: BailReason,
+        /// Interned call stack attempting the free.
+        stack: StackId,
     },
     /// Poison mode (§6.8): the free reported `Poisoned`; the object stays
     /// allocated and the VM corrupts the payload.
@@ -111,6 +134,8 @@ pub enum TraceEvent {
         at: u64,
         /// The poisoned address.
         addr: ObjAddr,
+        /// Interned call stack attempting the free.
+        stack: StackId,
     },
     /// A simulated scheduler migration flushed a thread's mcache.
     McacheFlush {
@@ -130,6 +155,20 @@ pub enum TraceEvent {
         heap_goal: u64,
         /// Length of the concurrent-mark window in allocations.
         window: u64,
+    },
+    /// A GC sweep reclaimed one unmarked object (recorded per object so
+    /// the profile builder can attribute swept garbage back to the
+    /// allocating stack; the per-cycle totals stay on
+    /// [`TraceEvent::GcEnd`], which is what [`Trace::fold`] counts).
+    Sweep {
+        /// Virtual timestamp (ticks) — the cycle's end time.
+        at: u64,
+        /// The reclaimed address.
+        addr: ObjAddr,
+        /// The reclaimed object's category.
+        cat: Category,
+        /// Bytes reclaimed.
+        bytes: u64,
     },
     /// A mark+sweep cycle completed.
     GcEnd {
@@ -171,15 +210,122 @@ impl TraceEvent {
             | TraceEvent::FreePoison { at, .. }
             | TraceEvent::McacheFlush { at, .. }
             | TraceEvent::GcStart { at, .. }
+            | TraceEvent::Sweep { at, .. }
             | TraceEvent::GcEnd { at, .. }
             | TraceEvent::Finalize { at, .. } => at,
         }
     }
 }
 
+/// Per-size-class occupancy inside a [`HeapSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassOccupancy {
+    /// Size-class index.
+    pub class: usize,
+    /// Bytes per slot in this class.
+    pub slot_size: u64,
+    /// Active spans of this class.
+    pub spans: u64,
+    /// Total slots those spans carve out.
+    pub slots: u64,
+    /// Occupied slots.
+    pub live_slots: u64,
+    /// Bytes held by occupied slots (`live_slots * slot_size`).
+    pub live_bytes: u64,
+    /// Bytes of backing pages (`spans * npages * PAGE_SIZE`) — the
+    /// denominator of the class's fragmentation ratio.
+    pub span_bytes: u64,
+}
+
+/// A point-in-time picture of the heap, captured at GC safepoints (the
+/// pacer trigger, before the sweep runs, so the garbage and any
+/// fig. 9 dangling spans are still visible) and once at end of run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapSnapshot {
+    /// Virtual timestamp (ticks).
+    pub at: u64,
+    /// 1-based GC cycle about to run, or `None` for the end-of-run
+    /// snapshot.
+    pub cycle: Option<u64>,
+    /// Per-size-class occupancy, ascending class order; classes with no
+    /// active span are omitted.
+    pub classes: Vec<ClassOccupancy>,
+    /// Active dedicated large-object spans (pages still held).
+    pub large_spans: u64,
+    /// Live bytes in those large spans.
+    pub large_bytes: u64,
+    /// Backing-page bytes of those large spans.
+    pub large_span_bytes: u64,
+    /// Large-object spans in fig. 9's dangling state: pages already
+    /// returned by step 1, the span struct awaiting step 2 at the next
+    /// sweep.
+    pub dangling_spans: u64,
+    /// Live heap bytes (the pacer's input).
+    pub heap_live: u64,
+    /// Page-level footprint (the `maxheap` input).
+    pub footprint: u64,
+}
+
+impl HeapSnapshot {
+    /// Captures the heap's current occupancy.
+    pub fn capture(heap: &Heap, at: u64, cycle: Option<u64>) -> Self {
+        let mut classes: HashMap<usize, ClassOccupancy> = HashMap::new();
+        let (mut large_spans, mut large_bytes, mut large_span_bytes) = (0, 0, 0);
+        let mut dangling_spans = 0;
+        for i in 0..heap.span_count() {
+            let span = heap.span(crate::heap::SpanId(i as u32));
+            if span.dangling {
+                dangling_spans += 1;
+                continue;
+            }
+            if !span.active {
+                continue;
+            }
+            match span.class {
+                Some(class) => {
+                    let c = classes.entry(class).or_insert(ClassOccupancy {
+                        class,
+                        slot_size: span.slot_size,
+                        spans: 0,
+                        slots: 0,
+                        live_slots: 0,
+                        live_bytes: 0,
+                        span_bytes: 0,
+                    });
+                    c.spans += 1;
+                    c.slots += span.nslots as u64;
+                    let live = span.live_slots() as u64;
+                    c.live_slots += live;
+                    c.live_bytes += live * span.slot_size;
+                    c.span_bytes += span.npages as u64 * PAGE_SIZE;
+                }
+                None => {
+                    large_spans += 1;
+                    large_bytes += span.slot_size;
+                    large_span_bytes += span.npages as u64 * PAGE_SIZE;
+                }
+            }
+        }
+        let mut classes: Vec<ClassOccupancy> = classes.into_values().collect();
+        classes.sort_by_key(|c| c.class);
+        HeapSnapshot {
+            at,
+            cycle,
+            classes,
+            large_spans,
+            large_bytes,
+            large_span_bytes,
+            dangling_spans,
+            heap_live: heap.heap_live(),
+            footprint: footprint(heap),
+        }
+    }
+}
+
 /// Initial event-buffer capacity: most corpus runs fit without a single
 /// reallocation; longer runs grow the buffer geometrically (an append
-/// buffer — events are never dropped, so folding stays exact).
+/// buffer — unless capped, events are never dropped, so folding stays
+/// exact).
 const TRACE_PREALLOC: usize = 4096;
 
 /// The recording side, owned by the [`crate::Runtime`] when
@@ -192,20 +338,46 @@ const TRACE_PREALLOC: usize = 4096;
 pub struct Tracer {
     events: Vec<TraceEvent>,
     sites: HashMap<ObjAddr, TraceSiteId>,
+    snapshots: Vec<HeapSnapshot>,
+    /// Optional hard cap on the event buffer; `None` = unbounded.
+    cap: Option<usize>,
+    /// Events discarded once the cap was hit.
+    events_dropped: u64,
 }
 
 impl Tracer {
-    /// Creates a tracer with a preallocated event buffer.
+    /// Creates a tracer with a preallocated, unbounded event buffer.
     pub fn new() -> Self {
+        Tracer::with_cap(None)
+    }
+
+    /// Creates a tracer whose event buffer holds at most `cap` events;
+    /// further events are counted in `events_dropped` instead of
+    /// recorded, and the resulting truncated [`Trace`] refuses to
+    /// reconcile.
+    pub fn with_cap(cap: Option<usize>) -> Self {
+        let prealloc = cap.map_or(TRACE_PREALLOC, |c| c.min(TRACE_PREALLOC));
         Tracer {
-            events: Vec::with_capacity(TRACE_PREALLOC),
+            events: Vec::with_capacity(prealloc),
             sites: HashMap::new(),
+            snapshots: Vec::new(),
+            cap,
+            events_dropped: 0,
         }
     }
 
-    /// Appends an event.
+    /// Appends an event (or counts it as dropped when the buffer is at
+    /// its cap — never silently).
     pub fn record(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
+        match self.cap {
+            Some(cap) if self.events.len() >= cap => self.events_dropped += 1,
+            _ => self.events.push(ev),
+        }
+    }
+
+    /// Appends a heap snapshot (bounded by the GC count, never capped).
+    pub fn snapshot(&mut self, snap: HeapSnapshot) {
+        self.snapshots.push(snap);
     }
 
     /// Remembers which site allocated `addr` (clearing any stale entry
@@ -231,10 +403,14 @@ impl Tracer {
         self.sites.remove(&addr);
     }
 
-    /// Finishes recording, yielding the immutable trace.
+    /// Finishes recording, yielding the immutable trace (the stack table
+    /// is filled in afterwards by the VM engine that drove the run).
     pub fn finish(self) -> Trace {
         Trace {
             events: self.events,
+            events_dropped: self.events_dropped,
+            snapshots: self.snapshots,
+            stacks: StackTable::new(),
         }
     }
 }
@@ -251,6 +427,16 @@ impl Default for Tracer {
 pub struct Trace {
     /// Events in recording order (timestamps are non-decreasing).
     pub events: Vec<TraceEvent>,
+    /// Events the buffer cap discarded (0 for unbounded tracers; a
+    /// non-zero value marks the stream truncated and poisons
+    /// [`Trace::reconcile`]).
+    pub events_dropped: u64,
+    /// Heap snapshots captured at each GC trigger plus end of run.
+    pub snapshots: Vec<HeapSnapshot>,
+    /// Interned call stacks referenced by the events' `stack` ids
+    /// (filled in by the VM engine after the run; empty for runtimes
+    /// driven without a VM).
+    pub stacks: StackTable,
 }
 
 impl Trace {
@@ -290,6 +476,9 @@ impl Trace {
                     m.tcfree_bails[reason.index()] += 1;
                 }
                 TraceEvent::FreePoison { .. } => m.tcfree_attempts += 1,
+                // Per-object sweep detail; the fold counts the cycle's
+                // GcEnd totals instead, so sweeps don't double-count.
+                TraceEvent::Sweep { .. } => {}
                 TraceEvent::McacheFlush { .. } | TraceEvent::GcStart { .. } => {}
                 TraceEvent::GcEnd { swept, ticks, .. } => {
                     m.gcs += 1;
@@ -317,8 +506,17 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first divergence.
+    /// Returns a description of the first divergence. A truncated stream
+    /// (the tracer's buffer cap dropped events) fails immediately and
+    /// loudly — a partial fold could otherwise diverge in ways that look
+    /// like runtime bugs, or worse, happen to match.
     pub fn reconcile(&self, target: &Metrics) -> Result<(), String> {
+        if self.events_dropped > 0 {
+            return Err(format!(
+                "trace truncated: the buffer cap dropped {} events; a partial stream cannot reconcile",
+                self.events_dropped
+            ));
+        }
         let mut folded = self.fold();
         // Compile-time fact, not a runtime event (see `fold`).
         folded.frees_suppressed = target.frees_suppressed;
@@ -393,6 +591,7 @@ mod tests {
                     at: 10,
                     addr: addr(0),
                     site: Some(3),
+                    stack: 1,
                     cat: Category::Slice,
                     bytes: 112,
                     large: false,
@@ -402,11 +601,13 @@ mod tests {
                 TraceEvent::StackAlloc {
                     at: 11,
                     cat: Category::Other,
+                    stack: 1,
                 },
                 TraceEvent::Free {
                     at: 20,
                     addr: addr(0),
                     site: Some(3),
+                    stack: 1,
                     cat: Category::Slice,
                     source: FreeSource::SliceLifetime,
                     bytes: 112,
@@ -416,6 +617,13 @@ mod tests {
                 TraceEvent::FreeBail {
                     at: 21,
                     reason: BailReason::AlreadyFree,
+                    stack: 1,
+                },
+                TraceEvent::Sweep {
+                    at: 30,
+                    addr: addr(1),
+                    cat: Category::Map,
+                    bytes: 96,
                 },
                 TraceEvent::GcEnd {
                     at: 30,
@@ -432,6 +640,7 @@ mod tests {
                     footprint: 4096,
                 },
             ],
+            ..Trace::default()
         };
         let m = trace.fold();
         assert_eq!(m.alloced_bytes, 112);
@@ -470,6 +679,72 @@ mod tests {
     }
 
     #[test]
+    fn capped_tracer_counts_drops_and_refuses_to_reconcile() {
+        let mut t = Tracer::with_cap(Some(2));
+        for i in 0..5 {
+            t.record(TraceEvent::StackAlloc {
+                at: i,
+                cat: Category::Other,
+                stack: 0,
+            });
+        }
+        let trace = t.finish();
+        assert_eq!(trace.events.len(), 2, "cap bounds the buffer");
+        assert_eq!(trace.events_dropped, 3, "every drop is counted");
+        let mut m = Metrics::default();
+        for _ in 0..5 {
+            m.record_stack_alloc(Category::Other);
+        }
+        let err = trace.reconcile(&m).unwrap_err();
+        assert!(err.contains("truncated"), "loud failure, got: {err}");
+        assert!(err.contains('3'), "names the drop count, got: {err}");
+        // And an uncapped tracer over the same stream reconciles.
+        let mut t = Tracer::new();
+        for i in 0..5 {
+            t.record(TraceEvent::StackAlloc {
+                at: i,
+                cat: Category::Other,
+                stack: 0,
+            });
+        }
+        t.finish().reconcile(&m).expect("unbounded stream folds");
+    }
+
+    #[test]
+    fn snapshot_captures_class_occupancy_and_dangling_spans() {
+        use crate::sizeclass::class_for;
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let keep = h.alloc_small(class, 0, Category::Other).0;
+        h.alloc_small(class, 0, Category::Slice);
+        let big = h.alloc_large(PAGE_SIZE * 3, 0, Category::Other);
+        let snap = HeapSnapshot::capture(&h, 42, Some(1));
+        assert_eq!(snap.at, 42);
+        assert_eq!(snap.cycle, Some(1));
+        assert_eq!(snap.classes.len(), 1, "one small class in use");
+        let c = &snap.classes[0];
+        assert_eq!(c.class, class);
+        assert_eq!(c.live_slots, 2);
+        assert_eq!(c.live_bytes, 2 * c.slot_size);
+        assert!(c.span_bytes >= PAGE_SIZE);
+        assert_eq!(snap.large_spans, 1);
+        assert_eq!(snap.large_bytes, PAGE_SIZE * 3);
+        assert_eq!(snap.large_span_bytes, PAGE_SIZE * 3);
+        assert_eq!(snap.dangling_spans, 0);
+        assert_eq!(snap.heap_live, h.heap_live());
+        assert_eq!(snap.footprint, footprint(&h));
+
+        // Fig. 9 step 1 leaves the span dangling: pages gone, struct
+        // counted in the snapshot until the next sweep retires it.
+        h.free_large_step1(big);
+        let snap = HeapSnapshot::capture(&h, 43, None);
+        assert_eq!(snap.cycle, None);
+        assert_eq!(snap.large_spans, 0);
+        assert_eq!(snap.dangling_spans, 1);
+        let _ = keep;
+    }
+
+    #[test]
     fn tracer_site_table_tracks_reuse() {
         let mut t = Tracer::new();
         t.note_site(addr(1), Some(7));
@@ -488,6 +763,7 @@ mod tests {
                     at: 1,
                     addr: addr(0),
                     site: None,
+                    stack: 0,
                     cat: Category::Other,
                     bytes: 64,
                     large: false,
@@ -510,6 +786,7 @@ mod tests {
                     ticks: 100,
                 },
             ],
+            ..Trace::default()
         };
         assert_eq!(trace.heap_curve(), vec![(1, 64), (3, 0)]);
         assert_eq!(trace.max_footprint(), 8192);

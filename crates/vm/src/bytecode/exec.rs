@@ -49,7 +49,12 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         Some(sh) => sh.take_violations(),
         None => Vec::new(),
     };
-    let trace = vm.rt.take_trace();
+    let mut trace = vm.rt.take_trace();
+    if let (Some(tr), Some(st)) = (trace.as_mut(), vm.stacks.take()) {
+        // The runtime only sees interned ids; the table that resolves
+        // them lives in the VM and rides along in the trace.
+        tr.stacks = st;
+    }
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
@@ -97,6 +102,12 @@ struct BVm {
     next_obj: u64,
     frames: Vec<BFrame>,
     site_profile: HashMap<minigo_syntax::ExprId, (u64, u64)>,
+    /// Interned call stacks when tracing (hooked at the same function
+    /// entry/exit points as the tree-walk's, so ids are bit-identical
+    /// across engines).
+    stacks: Option<minigo_runtime::StackTable>,
+    /// The interned id of the current call stack (root when not tracing).
+    cur_stack: u32,
     /// The shadow-heap sanitizer, present when `cfg.sanitize` is on
     /// (hooked at the same points as the tree-walk's).
     shadow: Option<ShadowHeap>,
@@ -124,6 +135,7 @@ impl BVm {
     fn new(cfg: VmConfig, consts: &[Const]) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
         let shadow = cfg.sanitize.then(ShadowHeap::new);
+        let stacks = cfg.runtime.trace.then(minigo_runtime::StackTable::new);
         BVm {
             cfg,
             consts: consts.iter().map(Const::to_value).collect(),
@@ -133,6 +145,8 @@ impl BVm {
             next_obj: 0,
             frames: Vec::new(),
             site_profile: HashMap::new(),
+            stacks,
+            cur_stack: minigo_runtime::ROOT_STACK,
             shadow,
             output: String::new(),
             steps: 0,
@@ -286,6 +300,7 @@ impl BVm {
             slots,
             defers: Vec::new(),
         });
+        let parent_stack = self.enter_stack(&f.name);
 
         let body = self.exec(m, f);
         let defer_result = self.run_defers(m);
@@ -296,6 +311,7 @@ impl BVm {
         };
         match flow {
             Err(e) => {
+                self.leave_stack(parent_stack);
                 self.frames.pop();
                 Err(e)
             }
@@ -315,9 +331,30 @@ impl BVm {
                     };
                     results.push(check_poison(v)?);
                 }
+                self.leave_stack(parent_stack);
                 self.frames.pop();
                 Ok(results)
             }
+        }
+    }
+
+    /// Tracing only: interns the stack extended with `name`, stamps it
+    /// into the runtime, and returns the previous stack id (mirrors the
+    /// tree-walk's hook exactly — same call points, same interning order).
+    fn enter_stack(&mut self, name: &str) -> u32 {
+        let parent = self.cur_stack;
+        if let Some(st) = &mut self.stacks {
+            self.cur_stack = st.push(parent, name);
+            self.rt.set_stack(self.cur_stack);
+        }
+        parent
+    }
+
+    /// Tracing only: restores the caller's stack id on function exit.
+    fn leave_stack(&mut self, parent: u32) {
+        if self.stacks.is_some() {
+            self.cur_stack = parent;
+            self.rt.set_stack(parent);
         }
     }
 

@@ -142,7 +142,12 @@ pub fn run(
         Some(sh) => sh.take_violations(),
         None => Vec::new(),
     };
-    let trace = vm.rt.take_trace();
+    let mut trace = vm.rt.take_trace();
+    if let (Some(tr), Some(st)) = (trace.as_mut(), vm.stacks.take()) {
+        // The runtime only sees interned ids; the table that resolves
+        // them lives in the VM and rides along in the trace.
+        tr.stacks = st;
+    }
     Ok(RunOutcome {
         output: std::mem::take(&mut vm.output),
         time: vm.rt.now(),
@@ -209,6 +214,14 @@ struct Vm<'p> {
     addr_taken: HashMap<FuncId, HashSet<VarId>>,
     /// Per-site allocation profile: expr id -> (count, bytes).
     site_profile: HashMap<minigo_syntax::ExprId, (u64, u64)>,
+    /// Interned call stacks, present when tracing: every function
+    /// entry/exit stamps the current stack id into the runtime so traced
+    /// events carry full call-stack attribution. Interning follows the
+    /// call sequence, which both engines execute identically, so stack
+    /// ids are bit-identical across engines.
+    stacks: Option<minigo_runtime::StackTable>,
+    /// The interned id of the current call stack (root when not tracing).
+    cur_stack: u32,
     /// Set while executing the 2nd..nth statement of a `tcfree` run with
     /// batching enabled: the call overhead was already charged.
     in_free_batch: bool,
@@ -228,6 +241,7 @@ impl<'p> Vm<'p> {
     ) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
         let shadow = cfg.sanitize.then(ShadowHeap::new);
+        let stacks = cfg.runtime.trace.then(minigo_runtime::StackTable::new);
         let mut addr_taken = HashMap::new();
         for func in &program.funcs {
             let mut set = HashSet::new();
@@ -247,6 +261,8 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             addr_taken,
             site_profile: HashMap::new(),
+            stacks,
+            cur_stack: minigo_runtime::ROOT_STACK,
             in_free_batch: false,
             shadow,
             output: String::new(),
@@ -419,6 +435,7 @@ impl<'p> Vm<'p> {
             slots,
             defers: Vec::new(),
         });
+        let parent_stack = self.enter_stack(&func.name);
 
         let body = &func.body;
         let flow = self.exec_block(body);
@@ -432,6 +449,7 @@ impl<'p> Vm<'p> {
         };
         match flow {
             Err(e) => {
+                self.leave_stack(parent_stack);
                 self.frames.pop();
                 Err(e)
             }
@@ -440,9 +458,31 @@ impl<'p> Vm<'p> {
                 for &rvar in self.res.results_of(fid) {
                     results.push(self.read_var(rvar)?);
                 }
+                self.leave_stack(parent_stack);
                 self.frames.pop();
                 Ok(results)
             }
+        }
+    }
+
+    /// Tracing only: interns the stack extended with `name`, stamps it
+    /// into the runtime, and returns the previous stack id for
+    /// [`Vm::leave_stack`]. A no-op returning the root id when tracing is
+    /// off.
+    fn enter_stack(&mut self, name: &str) -> u32 {
+        let parent = self.cur_stack;
+        if let Some(st) = &mut self.stacks {
+            self.cur_stack = st.push(parent, name);
+            self.rt.set_stack(self.cur_stack);
+        }
+        parent
+    }
+
+    /// Tracing only: restores the caller's stack id on function exit.
+    fn leave_stack(&mut self, parent: u32) {
+        if self.stacks.is_some() {
+            self.cur_stack = parent;
+            self.rt.set_stack(parent);
         }
     }
 

@@ -1,0 +1,240 @@
+//! Properties of the call-stack-attributed allocation profiler, for the
+//! workload corpus and a fuzzed cohort, on both VM engines:
+//!
+//! * [`gofree::Profile::reconcile`] matches the run's [`Metrics`]
+//!   field-exactly (alloc/free/bail/sweep counts and bytes);
+//! * profiling is invisible — a profiled run's report is bit-identical
+//!   to an unprofiled one in every observable field;
+//! * the interned stack table and the folded profiles are bit-identical
+//!   across the tree-walk and bytecode engines;
+//! * folded profiles are `--jobs`-invariant;
+//! * the gctrace pacing log has exactly one line per GC cycle, and heap
+//!   snapshots cover every GC safepoint plus finalization;
+//! * a capped trace refuses to reconcile (loud truncation) at both the
+//!   trace and the profile layer.
+
+use gofree::{
+    compile, execute, folded_stacks, gctrace_lines, heap_snapshot_table, profile_report,
+    run_distribution, CompileOptions, Compiled, FoldedMetric, Profile, Report, RunConfig, Setting,
+    VmEngine,
+};
+use gofree_workloads::{corpus, fuzzgen, Scale};
+use std::collections::HashMap;
+
+/// Evaluation-style config: tight GC trigger, tracing on.
+fn traced_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        min_heap: 128 * 1024,
+        trace: true,
+        ..RunConfig::default()
+    }
+}
+
+/// Runs one compiled setting, builds its profile, and checks exact
+/// reconciliation against the metrics plus the internal consistency of
+/// the derived artifacts. Returns the report and its profile.
+fn run_profiled(
+    label: &str,
+    compiled: &Compiled,
+    setting: Setting,
+    cfg: &RunConfig,
+) -> (Report, Profile) {
+    let report = execute(compiled, setting, cfg)
+        .unwrap_or_else(|e| panic!("{label} ({setting}, {:?}): {e}", cfg.engine));
+    let trace = report
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label} ({setting}): traced run carries no trace"));
+    let profile = Profile::build(trace);
+    profile
+        .reconcile(&report.metrics)
+        .unwrap_or_else(|e| panic!("{label} ({setting}, {:?}): {e}", cfg.engine));
+
+    // One pacing line per GC cycle, paired from the event stream.
+    let pacing = gctrace_lines(trace);
+    assert_eq!(
+        pacing.len() as u64,
+        report.metrics.gcs,
+        "{label} ({setting}): gctrace line count != Metrics::gcs"
+    );
+    // One snapshot at every GC safepoint plus one at finalization.
+    assert_eq!(
+        trace.snapshots.len() as u64,
+        report.metrics.gcs + 1,
+        "{label} ({setting}): snapshot count != gcs + finalize"
+    );
+    assert!(
+        !heap_snapshot_table(trace).is_empty(),
+        "{label} ({setting}): snapshot table rendered empty"
+    );
+    // Drag histograms cover exactly the frees and sweeps that happened.
+    let (mut tcfreed, mut swept) = (0u64, 0u64);
+    for d in &profile.sites {
+        tcfreed += d.tcfree_count;
+        swept += d.sweep_count;
+    }
+    let totals = profile.totals();
+    assert_eq!(tcfreed, totals.frees, "{label} ({setting}): drag vs frees");
+    assert_eq!(swept, totals.swept, "{label} ({setting}): drag vs sweeps");
+    (report, profile)
+}
+
+/// The full property set for one source program.
+fn check_program(label: &str, src: &str) {
+    let go = compile(src, &CompileOptions::go())
+        .unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+    let gofree = compile(src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+    for (compiled, setting) in [
+        (&go, Setting::Go),
+        (&go, Setting::GoGcOff),
+        (&gofree, Setting::GoFree),
+    ] {
+        let cfg = traced_cfg(11);
+
+        // Reconciliation + invisibility on the default (bytecode) engine.
+        let (profiled, profile) = run_profiled(label, compiled, setting, &cfg);
+        let plain = execute(
+            compiled,
+            setting,
+            &RunConfig {
+                trace: false,
+                ..cfg.clone()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label} ({setting}): {e}"));
+        assert_eq!(profiled.output, plain.output, "{label} ({setting})");
+        assert_eq!(profiled.time, plain.time, "{label} ({setting})");
+        assert_eq!(profiled.steps, plain.steps, "{label} ({setting})");
+        assert_eq!(
+            format!("{:?}", profiled.metrics),
+            format!("{:?}", plain.metrics),
+            "{label} ({setting}): profiling changed metrics"
+        );
+
+        // Engine identity: same stack table, same folded profiles, same
+        // rendered report.
+        let tree_cfg = RunConfig {
+            engine: VmEngine::TreeWalk,
+            ..cfg.clone()
+        };
+        let (tree, tree_profile) = run_profiled(label, compiled, setting, &tree_cfg);
+        let (bt, tt) = (
+            profiled.trace.as_ref().unwrap(),
+            tree.trace.as_ref().unwrap(),
+        );
+        assert_eq!(
+            bt.stacks, tt.stacks,
+            "{label} ({setting}): engines intern different stack tables"
+        );
+        for metric in [
+            FoldedMetric::AllocBytes,
+            FoldedMetric::AllocCount,
+            FoldedMetric::FreedBytes,
+            FoldedMetric::GarbageBytes,
+        ] {
+            assert_eq!(
+                folded_stacks(&profile, &bt.stacks, metric),
+                folded_stacks(&tree_profile, &tt.stacks, metric),
+                "{label} ({setting}): folded profiles differ across engines"
+            );
+        }
+        let labels = HashMap::new();
+        assert_eq!(
+            profile_report(&profile, bt, &labels),
+            profile_report(&tree_profile, tt, &labels),
+            "{label} ({setting}): profile reports differ across engines"
+        );
+    }
+}
+
+#[test]
+fn workload_corpus_profiles_on_both_engines() {
+    for w in gofree_workloads::all(Scale::Test) {
+        check_program(w.name, &w.source);
+    }
+}
+
+#[test]
+fn generated_corpus_profiles() {
+    for nfuncs in [3, 10] {
+        check_program(&format!("corpus n={nfuncs}"), &corpus::generate(nfuncs));
+    }
+}
+
+#[test]
+fn fuzzed_programs_profile() {
+    // 20 generator seeds; every generated program must uphold the full
+    // property set (reconcile, invisibility, engine identity).
+    for seed in 0..20u64 {
+        let src = fuzzgen::generate(seed);
+        check_program(&format!("fuzz seed={seed}"), &src);
+    }
+}
+
+#[test]
+fn folded_profiles_are_jobs_invariant() {
+    let w = gofree_workloads::by_name("json", Scale::Test).expect("json workload");
+    let compiled = compile(&w.source, &CompileOptions::default()).expect("compiles");
+    let runs = 6;
+    let run = |jobs| {
+        run_distribution(
+            &compiled,
+            Setting::GoFree,
+            &RunConfig {
+                jobs,
+                ..traced_cfg(3)
+            },
+            runs,
+        )
+        .expect("distribution runs")
+    };
+    let (seq, par) = (run(1), run(4));
+    assert_eq!(seq.len(), par.len());
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        let (st, pt) = (s.trace.as_ref().unwrap(), p.trace.as_ref().unwrap());
+        let (sp, pp) = (Profile::build(st), Profile::build(pt));
+        sp.reconcile(&s.metrics)
+            .unwrap_or_else(|e| panic!("run {i}: {e}"));
+        assert_eq!(
+            folded_stacks(&sp, &st.stacks, FoldedMetric::AllocBytes),
+            folded_stacks(&pp, &pt.stacks, FoldedMetric::AllocBytes),
+            "run {i}: folded profile differs across --jobs"
+        );
+    }
+}
+
+#[test]
+fn capped_trace_fails_reconciliation_loudly() {
+    let w = gofree_workloads::by_name("json", Scale::Test).expect("json workload");
+    let compiled = compile(&w.source, &CompileOptions::default()).expect("compiles");
+    let full = execute(&compiled, Setting::GoFree, &traced_cfg(11)).expect("runs");
+    let events = full.trace.as_ref().unwrap().events.len();
+    assert!(events > 16, "workload too small to truncate meaningfully");
+
+    let capped = execute(
+        &compiled,
+        Setting::GoFree,
+        &RunConfig {
+            trace_cap: Some(16),
+            ..traced_cfg(11)
+        },
+    )
+    .expect("capped run still executes");
+    // Truncation is observationally invisible to the program...
+    assert_eq!(capped.output, full.output);
+    assert_eq!(capped.time, full.time);
+    let trace = capped.trace.as_ref().unwrap();
+    assert_eq!(trace.events.len(), 16);
+    assert_eq!(trace.events_dropped as usize, events - 16);
+    // ...but both reconciliation layers refuse the partial stream.
+    let err = trace
+        .reconcile(&capped.metrics)
+        .expect_err("truncated trace must not reconcile");
+    assert!(err.contains("truncated"), "unhelpful error: {err}");
+    let err = Profile::build(trace)
+        .reconcile(&capped.metrics)
+        .expect_err("truncated profile must not reconcile");
+    assert!(err.contains("truncated"), "unhelpful error: {err}");
+}
