@@ -15,6 +15,7 @@
 //! | `robustness` | mock-tcfree memory-corruption check (§6.8) |
 //! | `ablation` | design-choice ablations from DESIGN.md |
 //! | `audit` | free-safety audit + sanitizer sweep (DESIGN.md §8) |
+//! | `collectors` | tables 7–9 + heap curves per collection backend (DESIGN.md §11) |
 //!
 //! Criterion benches under `benches/` time the analyses and the runtime
 //! primitives themselves.
@@ -36,6 +37,11 @@ pub struct HarnessOptions {
     /// across cores. Reported numbers are identical for any value
     /// (tests/parallel.rs); only host wall-clock changes.
     pub jobs: usize,
+    /// Which collection backend paces and runs GC cycles: `go` (the
+    /// paper's mark-sweep, the default) or `gen` (the generational
+    /// nursery). Unlike `engine`/`jobs` this changes the reported
+    /// numbers — that difference is the point of the collector study.
+    pub collector: gofree::CollectorKind,
     /// When set, runs record the runtime event trace and the binary
     /// exports run 0's stream as Chrome `trace_event` JSON to this path
     /// (see [`HarnessOptions::write_trace`]). Tracing never changes the
@@ -61,6 +67,7 @@ impl Default for HarnessOptions {
             quick: false,
             engine: gofree::VmEngine::default(),
             jobs: gofree::default_jobs(),
+            collector: gofree::CollectorKind::default(),
             trace: None,
             profile: None,
             gctrace: false,
@@ -97,6 +104,11 @@ impl HarnessOptions {
                         opts.jobs = n;
                     }
                 }
+                "--collector" => {
+                    if let Some(c) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.collector = c;
+                    }
+                }
                 "--trace" | "-t" => {
                     if let Some(path) = args.next() {
                         opts.trace = Some(path);
@@ -118,6 +130,7 @@ impl HarnessOptions {
                         "options: --runs N (default 99), --quick, \
                          --engine tree-walk|bytecode (default bytecode), \
                          --jobs N (default GOFREE_JOBS or 1), \
+                         --collector go|gen (default go), \
                          --trace PATH (export a run's event trace as Chrome JSON), \
                          --profile PATH (stack-attributed allocation profile + PATH.folded), \
                          --gctrace (per-GC-cycle pacing log on stderr), \
@@ -146,6 +159,7 @@ impl HarnessOptions {
         RunConfig {
             engine: self.engine,
             jobs: self.jobs,
+            collector: self.collector,
             trace: self.observing(),
             ..eval_run_config()
         }

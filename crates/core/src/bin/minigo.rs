@@ -3,9 +3,10 @@
 //! escape analysis and its graph, and profile allocation sites.
 //!
 //! ```text
-//! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--audit MODE]
-//!            [--sanitize] [--explain] [--trace PATH] [--profile PATH]
-//!            [--gctrace] [--report-json PATH] [--trace-cap N] <file>
+//! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--collector go|gen]
+//!            [--audit MODE] [--sanitize] [--explain] [--trace PATH]
+//!            [--profile PATH] [--gctrace] [--report-json PATH]
+//!            [--trace-cap N] <file>
 //! minigo build [--go] [--audit MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -23,8 +24,11 @@
 //! `--profile PATH` writes the call-stack-attributed allocation profile
 //! (plus `PATH.folded` for `flamegraph.pl`) and fails the command if the
 //! profile does not reconcile exactly with the run's metrics.
-//! `--gctrace` prints a Go `GODEBUG=gctrace=1`-style pacing line per GC
-//! cycle to stderr. `--report-json PATH` writes the run report as JSON
+//! `--collector {go,gen}` selects the collection backend: `go` (the
+//! default) is the paper's mark-sweep, `gen` adds a generational nursery
+//! with minor/major cycles. `--gctrace` prints a Go
+//! `GODEBUG=gctrace=1`-style pacing line per GC cycle to stderr, tagged
+//! with the backend and cycle kind, plus a final minor/major summary. `--report-json PATH` writes the run report as JSON
 //! with stable field names. `--trace-cap N` bounds the in-memory event
 //! buffer; a truncated trace fails reconciliation loudly.
 
@@ -52,6 +56,7 @@ struct Cli {
     jobs: usize,
     runs: u64,
     audit: AuditMode,
+    collector: gofree::CollectorKind,
     sanitize: bool,
     explain: bool,
     trace: Option<String>,
@@ -71,6 +76,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         jobs: gofree::default_jobs(),
         runs: 1,
         audit: AuditMode::Off,
+        collector: gofree::CollectorKind::default(),
         sanitize: false,
         explain: false,
         trace: None,
@@ -112,6 +118,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .ok_or("--audit needs off, warn, or deny")?
                     .parse()?;
+            }
+            "--collector" => {
+                cli.collector = it.next().ok_or("--collector needs go or gen")?.parse()?;
             }
             "--sanitize" => cli.sanitize = true,
             "--explain" => cli.explain = true,
@@ -188,6 +197,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let cfg = RunConfig {
                 seed: cli.seed,
                 jobs: cli.jobs,
+                collector: cli.collector,
                 sanitize: cli.sanitize,
                 trace: cli.trace.is_some() || cli.profile.is_some() || cli.gctrace,
                 trace_cap: cli.trace_cap,
@@ -268,6 +278,13 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                     for line in gofree::gctrace_lines(trace) {
                         eprintln!("{line}");
                     }
+                    eprintln!(
+                        "[gctrace] collector={} cycles={} (minor={} major={})",
+                        trace.collector.name(),
+                        report.metrics.gcs,
+                        report.metrics.gcs_minor,
+                        report.metrics.gcs_major,
+                    );
                 }
             }
             if let Some(path) = &cli.report_json {
@@ -365,8 +382,9 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
-     [--runs N] [--jobs N] [--audit off|warn|deny] [--sanitize] [--explain] [--trace PATH] \
-     [--profile PATH] [--gctrace] [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
+     [--runs N] [--jobs N] [--collector go|gen] [--audit off|warn|deny] [--sanitize] \
+     [--explain] [--trace PATH] [--profile PATH] [--gctrace] [--report-json PATH] \
+     [--trace-cap N] [--func NAME] <file>"
         .to_string()
 }
 

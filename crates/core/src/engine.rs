@@ -132,6 +132,14 @@ pub struct RunConfig {
     /// back in run-index order, so parallel reports are bit-identical to
     /// sequential ones (tests/parallel.rs enforces this).
     pub jobs: usize,
+    /// Which collection backend paces and runs GC cycles
+    /// ([`minigo_runtime::RuntimeConfig::collector`]). The default `Go`
+    /// backend reproduces the paper's mark-sweep bit-identically;
+    /// `Generational` adds a nursery with minor/major cycles.
+    pub collector: minigo_runtime::CollectorKind,
+    /// Nursery budget in bytes for the generational backend (ignored by
+    /// the default mark-sweep backend).
+    pub nursery_size: u64,
 }
 
 impl Default for RunConfig {
@@ -149,6 +157,8 @@ impl Default for RunConfig {
             trace: false,
             trace_cap: None,
             jobs: default_jobs(),
+            collector: minigo_runtime::CollectorKind::default(),
+            nursery_size: RuntimeConfig::default().nursery_size,
         }
     }
 }
@@ -209,6 +219,8 @@ pub fn execute(
         poison: cfg.poison,
         trace: cfg.trace,
         trace_cap: cfg.trace_cap,
+        collector: cfg.collector,
+        nursery_size: cfg.nursery_size,
         ..RuntimeConfig::default()
     };
     let vm_cfg = VmConfig {

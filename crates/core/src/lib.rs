@@ -48,7 +48,7 @@ pub use trace::{chrome_trace_json, timeline_table};
 // Re-export the pieces callers commonly need alongside the facade.
 pub use minigo_escape::{AuditMode, AuditReport, AuditSite, AuditVerdict, FreeTargets, Mode};
 pub use minigo_runtime::{
-    Category, FreeSource, HeapSnapshot, PoisonMode, Profile, ShadowViolation, StackStat,
-    StackTable, Trace, TraceEvent, ViolationKind,
+    Category, CollectorKind, ConfigError, CycleKind, FreeSource, HeapSnapshot, PoisonMode, Profile,
+    ShadowViolation, StackStat, StackTable, Trace, TraceEvent, ViolationKind,
 };
 pub use minigo_vm::{ExecError, SiteProfile};

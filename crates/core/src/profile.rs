@@ -221,9 +221,10 @@ pub fn heap_snapshot_table(trace: &Trace) -> String {
 /// Renders a `GODEBUG=gctrace=1`-style pacing log: one line per GC
 /// cycle, pairing each `GcStart` (trigger live bytes, crossed goal,
 /// mark-window length) with its `GcEnd` (marked bytes, next goal, sweep
-/// counts, fig. 9 dangling retirements, cycle cost). The percentage is
-/// cumulative GC ticks over elapsed virtual time, Go's "time in GC"
-/// figure.
+/// counts, fig. 9 dangling retirements, cycle cost). Each line is tagged
+/// with the collector backend and the cycle kind (`major`, or `minor`
+/// under the generational backend). The percentage is cumulative GC
+/// ticks over elapsed virtual time, Go's "time in GC" figure.
 pub fn gctrace_lines(trace: &Trace) -> Vec<String> {
     let mut lines = Vec::new();
     let mut cycle = 0u64;
@@ -245,14 +246,17 @@ pub fn gctrace_lines(trace: &Trace) -> Vec<String> {
                 swept_bytes,
                 dangling_retired,
                 ticks,
+                kind,
             } => {
                 cycle += 1;
                 gc_ticks_total += ticks;
                 let (trigger, goal, window) = pending.take().unwrap_or((0, 0, 0));
                 lines.push(format!(
-                    "gc {cycle} @{at}t {}%: {trigger}->{heap_live} B (goal {goal} B, window {window}), \
+                    "gc {cycle} [{}/{kind}] @{at}t {}%: {trigger}->{heap_live} B \
+                     (goal {goal} B, window {window}), \
                      next {next_goal} B, swept {} objs / {swept_bytes} B, \
                      {dangling_retired} dangling retired, {ticks} ticks",
+                    trace.collector.name(),
                     pct(gc_ticks_total, at.max(1)),
                     swept.iter().sum::<u64>(),
                 ));
@@ -433,6 +437,7 @@ mod tests {
                     heap_live: 64,
                     heap_goal: 64,
                     window: 16,
+                    kind: minigo_runtime::CycleKind::Major,
                 },
                 TraceEvent::Sweep {
                     at: 100,
@@ -448,6 +453,7 @@ mod tests {
                     swept_bytes: 64,
                     dangling_retired: 0,
                     ticks: 40,
+                    kind: minigo_runtime::CycleKind::Major,
                 },
                 TraceEvent::Finalize {
                     at: 110,
@@ -501,7 +507,7 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let l = &lines[0];
         for needle in [
-            "gc 1 @100t",
+            "gc 1 [go/major] @100t",
             "64->0 B",
             "goal 64 B",
             "window 16",

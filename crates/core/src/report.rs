@@ -15,7 +15,11 @@ use minigo_runtime::Metrics;
 
 /// The schema tag stamped into every export; bump when field names or
 /// meanings change.
-pub const REPORT_SCHEMA: &str = "gofree-report/1";
+///
+/// `gofree-report/2` is `gofree-report/1` plus the collector backend:
+/// a top-level `"collector"` name and `gcs_minor`/`gcs_major` cycle
+/// counts inside `"metrics"`. Every v1 field is unchanged.
+pub const REPORT_SCHEMA: &str = "gofree-report/2";
 
 fn u64_array(values: &[u64]) -> String {
     let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -28,7 +32,8 @@ fn metrics_json(m: &Metrics) -> String {
         out,
         "\"alloced_bytes\":{},\"alloced_objects\":{},\"freed_bytes\":{},\
          \"freed_bytes_by_source\":{},\"freed_objects_by_source\":{},\
-         \"tcfree_attempts\":{},\"tcfree_bails\":{},\"gcs\":{},\"gc_ticks\":{},\
+         \"tcfree_attempts\":{},\"tcfree_bails\":{},\"gcs\":{},\"gcs_minor\":{},\
+         \"gcs_major\":{},\"gc_ticks\":{},\
          \"maxheap\":{},\"stack_allocs\":{},\"heap_allocs\":{},\"heap_tcfreed\":{},\
          \"heap_gced\":{},\"frees_suppressed\":{}",
         m.alloced_bytes,
@@ -39,6 +44,8 @@ fn metrics_json(m: &Metrics) -> String {
         m.tcfree_attempts,
         u64_array(&m.tcfree_bails),
         m.gcs,
+        m.gcs_minor,
+        m.gcs_major,
         m.gc_ticks,
         m.maxheap,
         u64_array(&m.stack_allocs),
@@ -56,8 +63,9 @@ pub fn report_json(report: &Report) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"schema\":\"{REPORT_SCHEMA}\",\"output\":\"{}\",\"time\":{},\"steps\":{},\
-         \"metrics\":{},",
+        "\"schema\":\"{REPORT_SCHEMA}\",\"collector\":\"{}\",\"output\":\"{}\",\
+         \"time\":{},\"steps\":{},\"metrics\":{},",
+        report.collector.name(),
         esc(&report.output),
         report.time,
         report.steps,
@@ -124,13 +132,17 @@ mod tests {
             }],
             violations: Vec::new(),
             trace: None,
+            collector: minigo_runtime::CollectorKind::Go,
         };
         let json = report_json(&report);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for needle in [
-            "\"schema\":\"gofree-report/1\"",
+            "\"schema\":\"gofree-report/2\"",
+            "\"collector\":\"go\"",
             "\"output\":\"hi \\\"there\\\"\\n\"",
             "\"alloced_bytes\":1024",
+            "\"gcs_minor\":0",
+            "\"gcs_major\":0",
             "\"site\":7",
             "\"trace_events\":0",
             "\"events_dropped\":0",

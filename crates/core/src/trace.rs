@@ -161,10 +161,11 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
                 heap_live,
                 heap_goal,
                 window,
+                kind,
             } => format!(
                 "{{\"name\":\"gc-trigger\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
                  \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"live\":{heap_live},\
-                 \"goal\":{heap_goal},\"window\":{window}}}}}"
+                 \"goal\":{heap_goal},\"window\":{window},\"kind\":\"{kind}\"}}}}"
             ),
             TraceEvent::GcEnd {
                 at,
@@ -174,15 +175,17 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
                 swept_bytes,
                 dangling_retired,
                 ticks,
+                kind,
             } => format!(
                 "{{\"name\":\"gc\",\"cat\":\"runtime\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
                  \"ts\":{},\"dur\":{ticks},\"args\":{{\"swept\":{:?},\
                  \"swept_bytes\":{swept_bytes},\"dangling_retired\":{dangling_retired},\
-                 \"next_goal\":{next_goal}}}}},\n\
+                 \"next_goal\":{next_goal},\"kind\":\"{kind}\",\"collector\":\"{}\"}}}},\n\
                  {{\"name\":\"heap\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":{at},\
                  \"args\":{{\"live\":{heap_live}}}}}",
                 at.saturating_sub(ticks),
                 swept,
+                trace.collector.name(),
             ),
             TraceEvent::Finalize {
                 at,
@@ -388,6 +391,7 @@ mod tests {
                     swept_bytes: 64,
                     dangling_retired: 0,
                     ticks: 40,
+                    kind: minigo_runtime::CycleKind::Major,
                 },
             ],
             stacks,

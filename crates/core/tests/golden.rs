@@ -151,7 +151,14 @@ fn gctrace_snapshot() {
         "--gctrace",
         file.to_str().unwrap(),
     ]);
-    assert!(out.contains("gc 1 @"), "no pacing line in:\n{out}");
+    assert!(
+        out.contains("gc 1 [go/major] @"),
+        "no pacing line in:\n{out}"
+    );
+    assert!(
+        out.contains("[gctrace] collector=go"),
+        "no collector summary in:\n{out}"
+    );
     assert_golden("gctrace_wordcount", &out);
 }
 

@@ -36,6 +36,14 @@ pub struct CostModel {
     pub gc_scan_per_64b: u64,
     /// Sweeping one span.
     pub gc_sweep_span: u64,
+    /// GC stop/start overhead of a generational *minor* cycle (nursery
+    /// only — much cheaper than `gc_cycle_base`). Unused by the default
+    /// mark-sweep backend.
+    pub gc_minor_base: u64,
+    /// The generational write barrier: charged when a store into an old
+    /// object enters the remembered set. The default mark-sweep backend
+    /// has no barrier and never charges this.
+    pub write_barrier: u64,
 }
 
 impl Default for CostModel {
@@ -53,6 +61,8 @@ impl Default for CostModel {
             gc_mark_object: 10,
             gc_scan_per_64b: 3,
             gc_sweep_span: 40,
+            gc_minor_base: 1500,
+            write_barrier: 2,
         }
     }
 }

@@ -383,6 +383,74 @@ impl Heap {
         out
     }
 
+    /// The generational minor sweep: like [`Heap::sweep`], but only
+    /// objects in `young` are candidates — old objects sharing a span
+    /// with nursery objects are never examined, and spans holding no
+    /// young objects are skipped entirely (`spans_swept` reflects that,
+    /// which is what makes minor cycles cheap). Dangling large-object
+    /// spans still complete fig. 9 step 2: step 1 already returned their
+    /// pages, so retirement is generation-agnostic bookkeeping.
+    pub fn sweep_young(
+        &mut self,
+        marked: &HashSet<ObjAddr>,
+        young: &HashSet<ObjAddr>,
+    ) -> SweepOutcome {
+        let young_spans: HashSet<u32> = young.iter().map(|a| a.span.0).collect();
+        let mut out = SweepOutcome::default();
+        for i in 0..self.spans.len() {
+            let sid = SpanId(i as u32);
+            if !self.spans[i].active {
+                continue;
+            }
+            if self.spans[i].dangling {
+                out.spans_swept += 1;
+                self.retire_span(sid);
+                out.dangling_retired += 1;
+                continue;
+            }
+            if !young_spans.contains(&sid.0) {
+                continue;
+            }
+            out.spans_swept += 1;
+            let nslots = self.spans[i].nslots;
+            for slot in 0..nslots {
+                let addr = ObjAddr { span: sid, slot };
+                if self.spans[i].alloc_bits[slot as usize]
+                    && young.contains(&addr)
+                    && !marked.contains(&addr)
+                {
+                    let cat = self.spans[i].cats[slot as usize].unwrap_or(Category::Other);
+                    let bytes = self.spans[i].slot_size;
+                    self.spans[i].alloc_bits[slot as usize] = false;
+                    self.spans[i].cats[slot as usize] = None;
+                    self.heap_live -= bytes;
+                    out.freed.push((addr, cat, bytes));
+                }
+            }
+            let span = &mut self.spans[i];
+            span.free_index = 0;
+            if span.live_slots() == 0 && !span.in_mcache {
+                self.retire_span(sid);
+            }
+        }
+        // Rebuild the mcentral partial lists (ascending span order, same
+        // as the full sweep — determinism).
+        for list in &mut self.partial {
+            list.clear();
+        }
+        for i in 0..self.spans.len() {
+            let s = &self.spans[i];
+            if s.active && !s.in_mcache && !s.dangling {
+                if let Some(class) = s.class {
+                    if s.next_free().is_some() {
+                        self.partial[class].push(SpanId(i as u32));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn retire_span(&mut self, sid: SpanId) {
         let span = self.span_mut(sid);
         if span.active {
@@ -550,6 +618,36 @@ mod tests {
         let (c, _) = h.alloc_small(class, 0, Category::Other);
         assert_eq!(c.slot, 0, "allocation restarts at the swept span's base");
         assert_eq!(c.span, a.span);
+    }
+
+    #[test]
+    fn sweep_young_skips_old_objects_and_foreign_spans() {
+        let mut h = Heap::new(1);
+        let class = class_for(64);
+        let (old, _) = h.alloc_small(class, 0, Category::Slice);
+        let (young_dead, _) = h.alloc_small(class, 0, Category::Map);
+        let (young_live, _) = h.alloc_small(class, 0, Category::Other);
+        // A large old object in its own span: not young, span skipped.
+        let big = h.alloc_large(50_000, 0, Category::Slice);
+        let young: HashSet<ObjAddr> = [young_dead, young_live].into_iter().collect();
+        let marked: HashSet<ObjAddr> = [young_live].into_iter().collect();
+        let out = h.sweep_young(&marked, &young);
+        let freed: Vec<_> = out.freed.iter().map(|(a, c, _)| (*a, *c)).collect();
+        assert_eq!(freed, vec![(young_dead, Category::Map)]);
+        assert!(h.is_allocated(old), "old object untouched though unmarked");
+        assert!(h.is_allocated(young_live));
+        assert!(h.is_allocated(big));
+        assert_eq!(out.spans_swept, 1, "only the nursery span was examined");
+    }
+
+    #[test]
+    fn sweep_young_retires_dangling_spans() {
+        let mut h = Heap::new(1);
+        let a = h.alloc_large(50_000, 0, Category::Slice);
+        h.free_large_step1(a);
+        let out = h.sweep_young(&HashSet::new(), &HashSet::new());
+        assert_eq!(out.dangling_retired, 1);
+        assert!(!h.span(a.span).active);
     }
 
     #[test]

@@ -99,8 +99,13 @@ pub struct Metrics {
     pub tcfree_attempts: u64,
     /// `tcfree` bail-outs by reason.
     pub tcfree_bails: [u64; 4],
-    /// GC cycles triggered (`GCs` in table 5).
+    /// GC cycles triggered (`GCs` in table 5; minor + major).
     pub gcs: u64,
+    /// Nursery-only cycles (generational backend; 0 under mark-sweep).
+    pub gcs_minor: u64,
+    /// Full-heap cycles (every mark-sweep cycle; the generational
+    /// backend's GOGC-paced cycles). `gcs == gcs_minor + gcs_major`.
+    pub gcs_major: u64,
     /// Virtual ticks spent in GC (mark + sweep).
     pub gc_ticks: u64,
     /// Peak live heap bytes (`maxheap` in table 5).

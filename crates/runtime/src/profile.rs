@@ -554,6 +554,7 @@ mod tests {
                     swept_bytes: 64,
                     dangling_retired: 0,
                     ticks: 5,
+                    kind: crate::collector::CycleKind::Major,
                 },
                 TraceEvent::Finalize {
                     at: 60,

@@ -11,8 +11,10 @@
 //! over the next allocations during which `tcfree` bails with `GcRunning`.
 
 use std::collections::HashSet;
+use std::fmt;
 
 use crate::clock::{Clock, CostModel};
+use crate::collector::{Collector, CollectorKind, CycleKind};
 use crate::heap::{footprint, Heap, ObjAddr, SweepOutcome};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
 use crate::profile::ROOT_STACK;
@@ -66,6 +68,14 @@ pub struct RuntimeConfig {
     /// refuses to reconcile instead of silently folding a partial
     /// stream.
     pub trace_cap: Option<usize>,
+    /// Which collection backend runs ([`crate::collector`]).
+    pub collector: CollectorKind,
+    /// Nursery size in bytes for the generational backend's minor
+    /// trigger (ignored by the default mark-sweep backend). Must stay
+    /// below `min_heap` — a nursery at or above the initial full-heap
+    /// goal would let major pacing permanently shadow minor cycles
+    /// ([`RuntimeConfig::validate`] rejects it).
+    pub nursery_size: u64,
     /// Tick charges.
     pub costs: CostModel,
 }
@@ -84,8 +94,96 @@ impl Default for RuntimeConfig {
             poison: PoisonMode::Off,
             trace: false,
             trace_cap: None,
+            collector: CollectorKind::Go,
+            nursery_size: 64 * 1024,
             costs: CostModel::default(),
         }
+    }
+}
+
+/// A nonsensical [`RuntimeConfig`] the runtime refuses to run with
+/// ([`RuntimeConfig::validate`]). Typed so callers can surface the exact
+/// rejection instead of a panic or a silently degenerate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// GOGC=0 with GC enabled: the pacing goal collapses onto the live
+    /// heap, so every allocation past `min_heap` would trigger a cycle —
+    /// a GC livelock, not a measurement.
+    ZeroGogc,
+    /// `gc_assist_divisor` = 0: the concurrent-mark window length would
+    /// divide by zero.
+    ZeroAssistDivisor,
+    /// Generational backend with a zero-byte nursery: every allocation
+    /// would trigger a minor cycle.
+    ZeroNursery,
+    /// Generational backend with `nursery_size >= min_heap`: the
+    /// full-heap goal would always be crossed before the nursery fills,
+    /// so minor cycles could never run.
+    NurseryAboveHeapGoal {
+        /// The configured nursery size.
+        nursery: u64,
+        /// The initial full-heap goal (`min_heap`).
+        goal: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroGogc => {
+                write!(
+                    f,
+                    "GOGC=0 with GC enabled would collect on every allocation past min_heap"
+                )
+            }
+            ConfigError::ZeroAssistDivisor => {
+                write!(
+                    f,
+                    "gc_assist_divisor must be nonzero (mark-window length divides by it)"
+                )
+            }
+            ConfigError::ZeroNursery => {
+                write!(f, "the generational collector needs a nonzero nursery_size")
+            }
+            ConfigError::NurseryAboveHeapGoal { nursery, goal } => write!(
+                f,
+                "nursery_size ({nursery}) must be below the initial heap goal min_heap ({goal}); \
+                 minor cycles could otherwise never trigger"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RuntimeConfig {
+    /// Rejects configurations that would panic, divide by zero, or
+    /// degenerate into a GC livelock.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found. Checked by the VM entry points
+    /// before a runtime is built; [`Runtime::new`] itself stays
+    /// infallible for embedders that construct configs programmatically.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gc_enabled && self.gogc == 0 {
+            return Err(ConfigError::ZeroGogc);
+        }
+        if self.gc_enabled && self.gc_assist_divisor == 0 {
+            return Err(ConfigError::ZeroAssistDivisor);
+        }
+        if self.collector == CollectorKind::Generational && self.gc_enabled {
+            if self.nursery_size == 0 {
+                return Err(ConfigError::ZeroNursery);
+            }
+            if self.nursery_size >= self.min_heap {
+                return Err(ConfigError::NurseryAboveHeapGoal {
+                    nursery: self.nursery_size,
+                    goal: self.min_heap,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -113,9 +211,10 @@ pub struct Runtime {
     metrics: Metrics,
     rng: SimRng,
     current_thread: u32,
-    gc_running: bool,
-    assist_left: u64,
-    next_gc: u64,
+    /// The collection backend: owns pacing state, the mark window, the
+    /// cost model application, and the sweep policy. A separate field so
+    /// the borrow checker lets it borrow `heap`/`clock`/`rng` disjointly.
+    collector: Box<dyn Collector>,
     live_objects: u64,
     /// The event recorder, present when [`RuntimeConfig::trace`] is on.
     /// Boxed so the untraced hot path only carries a pointer-sized
@@ -132,9 +231,9 @@ impl Runtime {
     pub fn new(cfg: RuntimeConfig) -> Self {
         let clock = Clock::new(cfg.jitter);
         let heap = Heap::new(cfg.threads as usize);
-        let next_gc = cfg.min_heap;
         let rng = SimRng::seed_from_u64(cfg.seed);
         let tracer = cfg.trace.then(|| Box::new(Tracer::with_cap(cfg.trace_cap)));
+        let collector = cfg.collector.build(&cfg);
         Runtime {
             cfg,
             heap,
@@ -142,9 +241,7 @@ impl Runtime {
             metrics: Metrics::default(),
             rng,
             current_thread: 0,
-            gc_running: false,
-            assist_left: 0,
-            next_gc,
+            collector,
             live_objects: 0,
             tracer,
             cur_stack: ROOT_STACK,
@@ -192,12 +289,17 @@ impl Runtime {
 
     /// Whether a collection should run at the next safepoint.
     pub fn gc_pending(&self) -> bool {
-        self.gc_running && self.assist_left == 0
+        self.collector.gc_pending()
     }
 
     /// Whether the concurrent mark window is open (tcfree bails).
     pub fn gc_running(&self) -> bool {
-        self.gc_running
+        self.collector.gc_running()
+    }
+
+    /// Which collection backend is running.
+    pub fn collector_kind(&self) -> CollectorKind {
+        self.collector.kind()
     }
 
     /// Allocates `size` bytes of category `cat`. Returns the address; the
@@ -248,6 +350,7 @@ impl Runtime {
         self.metrics.alloced_objects += 1;
         self.metrics.heap_allocs[cat.index()] += 1;
         self.live_objects += 1;
+        self.collector.on_object_alloc(addr, bytes);
         // maxheap is the page-level footprint (like RSS), not live bytes:
         // small-object frees only make slots reusable, while large-object
         // frees return whole pages — exactly the distinction fig. 10's
@@ -268,28 +371,34 @@ impl Runtime {
             });
         }
 
-        // GC pacing.
-        if self.cfg.gc_enabled {
-            if self.gc_running {
-                self.assist_left = self.assist_left.saturating_sub(1);
-            } else if self.heap.heap_live() >= self.next_gc {
-                self.gc_running = true;
-                // The concurrent mark window: long enough that some tcfree
-                // calls race the collector and bail (§5), short relative to
-                // the program so the collector keeps up with allocation.
-                self.assist_left =
-                    (self.live_objects / self.cfg.gc_assist_divisor.max(1)).clamp(16, 96);
-                if let Some(t) = &mut self.tracer {
-                    t.record(TraceEvent::GcStart {
-                        at: self.clock.now(),
-                        heap_live: self.heap.heap_live(),
-                        heap_goal: self.next_gc,
-                        window: self.assist_left,
-                    });
-                }
+        // GC pacing: the collector decides; the runtime records.
+        if let Some(trigger) = self
+            .collector
+            .pace(&self.cfg, &self.heap, self.live_objects)
+        {
+            if let Some(t) = &mut self.tracer {
+                t.record(TraceEvent::GcStart {
+                    at: self.clock.now(),
+                    heap_live: self.heap.heap_live(),
+                    heap_goal: trigger.goal,
+                    window: trigger.window,
+                    kind: trigger.kind,
+                });
             }
         }
         addr
+    }
+
+    /// Write-barrier entry point: the VM calls this at every
+    /// heap-pointer store site (the same sites the shadow sanitizer
+    /// hooks). The default mark-sweep backend makes it a total no-op —
+    /// zero ticks, no state — so runs without a barrier-carrying
+    /// collector stay bit-identical to the pre-barrier runtime.
+    pub fn record_store(&mut self, addr: ObjAddr) {
+        let ticks = self.collector.record_store(&self.cfg, &self.heap, addr);
+        if ticks > 0 {
+            self.clock.charge(ticks);
+        }
     }
 
     /// Records a stack allocation made by the VM: counted in the metrics
@@ -347,7 +456,7 @@ impl Runtime {
                 .charge(self.cfg.costs.tcfree_attempt.saturating_sub(2));
         }
 
-        if self.gc_running {
+        if self.collector.gc_running() {
             return self.bail(BailReason::GcRunning);
         }
         if !self.heap.is_allocated(addr) {
@@ -391,6 +500,7 @@ impl Runtime {
             (f.bytes, step)
         };
         self.live_objects = self.live_objects.saturating_sub(1);
+        self.collector.on_free(addr, bytes);
         self.metrics.freed_bytes += bytes;
         self.metrics.freed_bytes_by_source[source.index()] += bytes;
         self.metrics.freed_objects_by_source[source.index()] += 1;
@@ -438,30 +548,28 @@ impl Runtime {
                 Some(self.metrics.gcs + 1),
             ));
         }
-        // Mark cost: proportional to survivors and their bytes.
-        let mut mark_cost = self.cfg.costs.gc_cycle_base;
-        for addr in marked {
-            if self.heap.is_allocated(*addr) {
-                let bytes = self.heap.span(addr.span).slot_size;
-                mark_cost += self.cfg.costs.gc_mark_object
-                    + self.cfg.costs.gc_scan_per_64b * bytes.div_ceil(64);
-            }
-        }
-        self.clock.charge_jittered(mark_cost, &mut self.rng);
-
-        let out = self.heap.sweep(marked);
-        self.clock
-            .charge(self.cfg.costs.gc_sweep_span * out.spans_swept as u64);
+        // The cycle itself — mark cost, sweep, next goal — is collector
+        // policy; the mechanism below (metrics, live-object accounting,
+        // trace events) is collector-agnostic.
+        let cycle = self.collector.collect(
+            &self.cfg,
+            &mut self.heap,
+            &mut self.clock,
+            &mut self.rng,
+            marked,
+        );
+        let out = cycle.sweep;
         for (_, cat, _) in &out.freed {
             self.metrics.heap_gced[cat.index()] += 1;
             self.live_objects = self.live_objects.saturating_sub(1);
         }
 
         let heap_marked = self.heap.heap_live();
-        self.next_gc = (heap_marked + heap_marked * self.cfg.gogc / 100).max(self.cfg.min_heap);
-        self.gc_running = false;
-        self.assist_left = 0;
         self.metrics.gcs += 1;
+        match cycle.kind {
+            CycleKind::Minor => self.metrics.gcs_minor += 1,
+            CycleKind::Major => self.metrics.gcs_major += 1,
+        }
         let ticks = self.clock.now() - before;
         self.metrics.gc_ticks += ticks;
         if let Some(t) = &mut self.tracer {
@@ -485,11 +593,12 @@ impl Runtime {
             t.record(TraceEvent::GcEnd {
                 at,
                 heap_live: heap_marked,
-                next_goal: self.next_gc,
+                next_goal: cycle.next_goal,
                 swept,
                 swept_bytes,
                 dangling_retired: out.dangling_retired,
                 ticks,
+                kind: cycle.kind,
             });
         }
         out
@@ -518,9 +627,14 @@ impl Runtime {
     }
 
     /// Takes the recorded event stream (once, after the run; `None` when
-    /// tracing was off).
+    /// tracing was off). The trace is stamped with the active collector.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.tracer.take().map(|t| t.finish())
+        let kind = self.collector.kind();
+        self.tracer.take().map(|t| {
+            let mut trace = t.finish();
+            trace.collector = kind;
+            trace
+        })
     }
 
     /// Total heap footprint in bytes (pages held).
@@ -531,8 +645,7 @@ impl Runtime {
     /// Test-only: force the GC-running window open.
     #[doc(hidden)]
     pub fn force_gc_window(&mut self, assists: u64) {
-        self.gc_running = true;
-        self.assist_left = assists;
+        self.collector.force_window(assists);
     }
 }
 
@@ -686,6 +799,170 @@ mod tests {
         let shares = rt.metrics().source_shares();
         assert!((shares[FreeSource::MapGrowOld.index()] - 0.5).abs() < 1e-9);
         assert!((shares[FreeSource::MapLifetime.index()] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let ok = RuntimeConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let zero_gogc = RuntimeConfig {
+            gogc: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(zero_gogc.validate(), Err(ConfigError::ZeroGogc));
+        // GOGC=0 is fine when GC never runs (the GoGcOff setting).
+        let gc_off = RuntimeConfig {
+            gogc: 0,
+            gc_enabled: false,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(gc_off.validate(), Ok(()));
+
+        let zero_div = RuntimeConfig {
+            gc_assist_divisor: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(zero_div.validate(), Err(ConfigError::ZeroAssistDivisor));
+
+        let zero_nursery = RuntimeConfig {
+            collector: CollectorKind::Generational,
+            nursery_size: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(zero_nursery.validate(), Err(ConfigError::ZeroNursery));
+
+        let fat_nursery = RuntimeConfig {
+            collector: CollectorKind::Generational,
+            nursery_size: 512 * 1024,
+            min_heap: 512 * 1024,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(
+            fat_nursery.validate(),
+            Err(ConfigError::NurseryAboveHeapGoal {
+                nursery: 512 * 1024,
+                goal: 512 * 1024,
+            })
+        );
+        // The nursery bound only matters when minor cycles can run at all.
+        let fat_but_off = RuntimeConfig {
+            gc_enabled: false,
+            ..fat_nursery
+        };
+        assert_eq!(fat_but_off.validate(), Ok(()));
+
+        // Errors render as actionable text.
+        let msg = ConfigError::NurseryAboveHeapGoal {
+            nursery: 10,
+            goal: 5,
+        }
+        .to_string();
+        assert!(msg.contains("nursery_size"), "{msg}");
+    }
+
+    #[test]
+    fn generational_runs_minor_cycles_and_tags_metrics() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            collector: CollectorKind::Generational,
+            nursery_size: 4096,
+            min_heap: 1024 * 1024,
+            gc_assist_divisor: u64::MAX, // close windows immediately
+            ..quiet_cfg()
+        });
+        let mut addrs = Vec::new();
+        while !rt.gc_pending() {
+            addrs.push(rt.alloc(512, Category::Other));
+            assert!(addrs.len() < 100, "minor pacing never triggered");
+        }
+        // Nothing marked: the whole nursery dies.
+        let out = rt.collect(&HashSet::new());
+        assert_eq!(out.freed.len(), addrs.len());
+        assert_eq!(rt.metrics().gcs, 1);
+        assert_eq!(rt.metrics().gcs_minor, 1);
+        assert_eq!(rt.metrics().gcs_major, 0);
+        assert_eq!(rt.collector_kind(), CollectorKind::Generational);
+    }
+
+    #[test]
+    fn generational_minor_spares_old_objects() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            collector: CollectorKind::Generational,
+            nursery_size: 4096,
+            min_heap: 1024 * 1024,
+            gc_assist_divisor: u64::MAX,
+            ..quiet_cfg()
+        });
+        // Fill a nursery generation and promote it (everything marked).
+        let mut first_gen = Vec::new();
+        while !rt.gc_pending() {
+            first_gen.push(rt.alloc(512, Category::Other));
+        }
+        let keep: HashSet<ObjAddr> = first_gen.iter().copied().collect();
+        rt.collect(&keep);
+        // Second generation dies unmarked; the promoted one survives a
+        // minor even though it is also unmarked (floating until a major).
+        while !rt.gc_pending() {
+            rt.alloc(512, Category::Other);
+        }
+        let out = rt.collect(&HashSet::new());
+        assert_eq!(rt.metrics().gcs_minor, 2);
+        for addr in &first_gen {
+            assert!(
+                !out.freed.iter().any(|(a, _, _)| a == addr),
+                "old object swept by a minor cycle"
+            );
+        }
+        assert!(rt.heap_live() >= 512 * first_gen.len() as u64);
+    }
+
+    #[test]
+    fn go_collector_ignores_store_barrier() {
+        let mut rt = Runtime::new(quiet_cfg());
+        let a = rt.alloc(64, Category::Other);
+        let before = rt.now();
+        rt.record_store(a);
+        assert_eq!(rt.now(), before, "mark-sweep barrier must be free");
+    }
+
+    #[test]
+    fn generational_barrier_charges_old_stores() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            collector: CollectorKind::Generational,
+            nursery_size: 4096,
+            min_heap: 1024 * 1024,
+            gc_assist_divisor: u64::MAX,
+            ..quiet_cfg()
+        });
+        let a = rt.alloc(512, Category::Other);
+        let before = rt.now();
+        rt.record_store(a);
+        assert_eq!(rt.now(), before, "young store: no barrier cost");
+        // Promote, then store into the now-old object.
+        while !rt.gc_pending() {
+            rt.alloc(512, Category::Other);
+        }
+        let keep: HashSet<ObjAddr> = [a].into_iter().collect();
+        rt.collect(&keep);
+        let before = rt.now();
+        rt.record_store(a);
+        assert_eq!(
+            rt.now() - before,
+            rt.config().costs.write_barrier,
+            "old store enters the remembered set"
+        );
+    }
+
+    #[test]
+    fn trace_is_stamped_with_collector() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            collector: CollectorKind::Generational,
+            trace: true,
+            ..quiet_cfg()
+        });
+        rt.alloc(64, Category::Other);
+        let trace = rt.take_trace().expect("traced");
+        assert_eq!(trace.collector, CollectorKind::Generational);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use std::collections::HashMap;
 
+use crate::collector::{CollectorKind, CycleKind};
 use crate::heap::{footprint, Heap, ObjAddr};
 use crate::metrics::{BailReason, Category, FreeSource, Metrics};
 use crate::profile::{StackId, StackTable};
@@ -151,10 +152,13 @@ pub enum TraceEvent {
         at: u64,
         /// Live heap bytes at the trigger.
         heap_live: u64,
-        /// The pacing goal that was crossed (`next_gc`).
+        /// The pacing goal that was crossed (`next_gc`, or the nursery
+        /// size for a generational minor trigger).
         heap_goal: u64,
         /// Length of the concurrent-mark window in allocations.
         window: u64,
+        /// Whether the triggered cycle is nursery-only or full-heap.
+        kind: CycleKind,
     },
     /// A GC sweep reclaimed one unmarked object (recorded per object so
     /// the profile builder can attribute swept garbage back to the
@@ -186,6 +190,8 @@ pub enum TraceEvent {
         dangling_retired: u64,
         /// Virtual ticks the cycle cost (mark + sweep).
         ticks: u64,
+        /// Whether the completed cycle was nursery-only or full-heap.
+        kind: CycleKind,
     },
     /// End-of-run accounting: objects still live count toward the GC
     /// columns, and the final footprint feeds `maxheap`.
@@ -407,6 +413,7 @@ impl Tracer {
     /// is filled in afterwards by the VM engine that drove the run).
     pub fn finish(self) -> Trace {
         Trace {
+            collector: CollectorKind::default(),
             events: self.events,
             events_dropped: self.events_dropped,
             snapshots: self.snapshots,
@@ -425,6 +432,9 @@ impl Default for Tracer {
 /// (like sanitizer violations).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
+    /// Which collection backend produced the stream (stamped by the
+    /// runtime when the trace is taken).
+    pub collector: CollectorKind,
     /// Events in recording order (timestamps are non-decreasing).
     pub events: Vec<TraceEvent>,
     /// Events the buffer cap discarded (0 for unbounded tracers; a
@@ -480,8 +490,14 @@ impl Trace {
                 // GcEnd totals instead, so sweeps don't double-count.
                 TraceEvent::Sweep { .. } => {}
                 TraceEvent::McacheFlush { .. } | TraceEvent::GcStart { .. } => {}
-                TraceEvent::GcEnd { swept, ticks, .. } => {
+                TraceEvent::GcEnd {
+                    swept, ticks, kind, ..
+                } => {
                     m.gcs += 1;
+                    match kind {
+                        CycleKind::Minor => m.gcs_minor += 1,
+                        CycleKind::Major => m.gcs_major += 1,
+                    }
                     m.gc_ticks += ticks;
                     for (i, n) in swept.iter().enumerate() {
                         m.heap_gced[i] += n;
@@ -633,6 +649,7 @@ mod tests {
                     swept_bytes: 96,
                     dangling_retired: 1,
                     ticks: 6000,
+                    kind: CycleKind::Major,
                 },
                 TraceEvent::Finalize {
                     at: 31,
@@ -649,6 +666,8 @@ mod tests {
         assert_eq!(m.tcfree_attempts, 2);
         assert_eq!(m.tcfree_bails[BailReason::AlreadyFree.index()], 1);
         assert_eq!(m.gcs, 1);
+        assert_eq!(m.gcs_major, 1);
+        assert_eq!(m.gcs_minor, 0);
         assert_eq!(m.gc_ticks, 6000);
         assert_eq!(m.maxheap, 8192);
         assert_eq!(m.stack_allocs[Category::Other.index()], 1);
@@ -775,6 +794,7 @@ mod tests {
                     heap_live: 64,
                     heap_goal: 64,
                     window: 16,
+                    kind: CycleKind::Major,
                 },
                 TraceEvent::GcEnd {
                     at: 3,
@@ -784,6 +804,7 @@ mod tests {
                     swept_bytes: 64,
                     dangling_retired: 0,
                     ticks: 100,
+                    kind: CycleKind::Major,
                 },
             ],
             ..Trace::default()

@@ -33,6 +33,7 @@ use crate::value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};
 /// panics, nil dereferences, bounds errors, poisoned reads, and
 /// resource-limit violations.
 pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
+    cfg.runtime.validate().map_err(ExecError::InvalidConfig)?;
     if module.main == usize::MAX {
         return Err(ExecError::NoMain);
     }
@@ -63,6 +64,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         site_profile,
         violations,
         trace,
+        collector: vm.rt.collector_kind(),
     })
 }
 
@@ -279,6 +281,22 @@ impl BVm {
             self.shadow_access(m.obj, op);
             self.shadow_access(buckets, op);
         }
+    }
+
+    // ---- collector write barriers (mirror the tree-walk's) ----
+
+    fn barrier_store(&mut self, obj: Option<ObjId>) {
+        if let Some(obj) = obj {
+            if let Some(&addr) = self.objects.get(&obj) {
+                self.rt.record_store(addr);
+            }
+        }
+    }
+
+    fn barrier_store_map(&mut self, m: &MapVal) {
+        let buckets = m.data.borrow().buckets_obj;
+        self.barrier_store(m.obj);
+        self.barrier_store(buckets);
     }
 
     // ---- calls ----
@@ -603,6 +621,7 @@ impl BVm {
                 Instr::DerefSet => match pop(&mut stack) {
                     Value::Ptr(p) => {
                         self.shadow_access(p.obj, "pointer deref write");
+                        self.barrier_store(p.obj);
                         let v = pop(&mut stack);
                         *p.cell.borrow_mut() = v;
                     }
@@ -641,6 +660,7 @@ impl BVm {
                 Instr::FieldSetPtr { idx } => match pop(&mut stack) {
                     Value::Ptr(p) => {
                         self.shadow_access(p.obj, "field write");
+                        self.barrier_store(p.obj);
                         let v = pop(&mut stack);
                         let mut target = p.cell.borrow_mut();
                         match &mut *target {
@@ -714,6 +734,7 @@ impl BVm {
                                 });
                             }
                             self.shadow_access(s.obj, "slice index write");
+                            self.barrier_store(s.obj);
                             s.cells.borrow_mut()[s.offset + i as usize] = v;
                         }
                         Value::Map(map) => {
@@ -1043,6 +1064,7 @@ impl BVm {
     fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
         self.rt.tick(3);
         self.shadow_access_map(m, "map insert");
+        self.barrier_store_map(m);
         let (is_new, needs_growth) = {
             let data = m.data.borrow();
             if data.poisoned {

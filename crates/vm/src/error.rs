@@ -28,6 +28,10 @@ pub enum ExecError {
     StackOverflow,
     /// The program has no `main` function.
     NoMain,
+    /// The runtime configuration failed validation before the run
+    /// started (e.g. GOGC=0 with GC enabled, a zero assist divisor, or a
+    /// generational nursery at or above the heap goal).
+    InvalidConfig(minigo_runtime::ConfigError),
     /// An operation the VM does not support (e.g. interior pointers
     /// `&x.f`).
     Unsupported(String),
@@ -50,6 +54,7 @@ impl fmt::Display for ExecError {
             ExecError::StepLimit => write!(f, "step limit exceeded"),
             ExecError::StackOverflow => write!(f, "stack overflow"),
             ExecError::NoMain => write!(f, "program has no func main()"),
+            ExecError::InvalidConfig(err) => write!(f, "invalid runtime configuration: {err}"),
             ExecError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             ExecError::Internal(what) => write!(f, "internal error: {what}"),
         }
@@ -69,5 +74,10 @@ mod tests {
             .to_string()
             .contains("[5]"));
         assert!(ExecError::PoisonedRead.to_string().contains("poisoned"));
+        assert!(
+            ExecError::InvalidConfig(minigo_runtime::ConfigError::ZeroGogc)
+                .to_string()
+                .contains("GOGC")
+        );
     }
 }

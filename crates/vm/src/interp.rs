@@ -99,6 +99,9 @@ pub struct RunOutcome {
     /// bit-identical with tracing on or off, and the stream itself is
     /// bit-identical across the two VM engines.
     pub trace: Option<minigo_runtime::Trace>,
+    /// Which collection backend ran
+    /// ([`minigo_runtime::RuntimeConfig::collector`]).
+    pub collector: minigo_runtime::CollectorKind,
 }
 
 /// The id type used for profile attribution (an expression id).
@@ -128,6 +131,7 @@ pub fn run(
     analysis: &Analysis,
     cfg: VmConfig,
 ) -> Result<RunOutcome> {
+    cfg.runtime.validate().map_err(ExecError::InvalidConfig)?;
     let main = program.func("main").ok_or(ExecError::NoMain)?;
     let mut vm = Vm::new(program, res, types, analysis, cfg);
     vm.call_function(main.id, Vec::new())?;
@@ -156,6 +160,7 @@ pub fn run(
         site_profile,
         violations,
         trace,
+        collector: vm.rt.collector_kind(),
     })
 }
 
@@ -356,6 +361,30 @@ impl<'p> Vm<'p> {
             self.shadow_access(m.obj, op);
             self.shadow_access(buckets, op);
         }
+    }
+
+    // ---- write barrier ----
+
+    /// Write-barrier hook at the same heap store sites the shadow
+    /// sanitizer checks: tells the collector the object's payload was
+    /// mutated (the generational remembered set's input; a total no-op
+    /// under the default mark-sweep backend). Stack values (`obj` =
+    /// `None`) need no barrier. Unlike the shadow hooks this always
+    /// fires — barriers are part of the simulation, not an observer.
+    fn barrier_store(&mut self, obj: Option<ObjId>) {
+        if let Some(obj) = obj {
+            if let Some(&addr) = self.objects.get(&obj) {
+                self.rt.record_store(addr);
+            }
+        }
+    }
+
+    /// [`Vm::barrier_store`] for a map store: both the hmap header and
+    /// the current bucket array count as mutated.
+    fn barrier_store_map(&mut self, m: &MapVal) {
+        let buckets = m.data.borrow().buckets_obj;
+        self.barrier_store(m.obj);
+        self.barrier_store(buckets);
     }
 
     // ---- GC ----
@@ -1333,6 +1362,7 @@ impl<'p> Vm<'p> {
     fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
         self.rt.tick(3);
         self.shadow_access_map(m, "map insert");
+        self.barrier_store_map(m);
         let (is_new, needs_growth) = {
             let data = m.data.borrow();
             if data.poisoned {
@@ -1398,6 +1428,7 @@ impl<'p> Vm<'p> {
             } => match self.eval(operand)? {
                 Value::Ptr(p) => {
                     self.shadow_access(p.obj, "pointer deref write");
+                    self.barrier_store(p.obj);
                     *p.cell.borrow_mut() = value;
                     Ok(())
                 }
@@ -1410,6 +1441,7 @@ impl<'p> Vm<'p> {
                     Value::Ptr(p) => {
                         // Through-pointer store: mutate in place.
                         self.shadow_access(p.obj, "field write");
+                        self.barrier_store(p.obj);
                         let sname = self.struct_name_of(base, true)?;
                         let idx = self.field_index(&sname, name)?;
                         let mut target = p.cell.borrow_mut();
@@ -1446,6 +1478,7 @@ impl<'p> Vm<'p> {
                             });
                         }
                         self.shadow_access(s.obj, "slice index write");
+                        self.barrier_store(s.obj);
                         s.cells.borrow_mut()[s.offset + i as usize] = value;
                         Ok(())
                     }

@@ -16,13 +16,18 @@ cargo build --workspace --release
 mkdir -p results
 for bin in table3 table7 table8 table9 fig10 fig11 compile_speed \
            robustness ablation inlining batching gogc_sweep summary fuzz \
-           audit trace profile; do
+           audit trace profile collectors; do
   echo "== $bin =="
   { echo "$HEADER"
     cargo run --release -q -p gofree-bench --bin "$bin" -- \
       --jobs "$JOBS" "${ARGS[@]}"
   } | tee "results/$bin.txt"
 done
+echo "== table7 (gen collector) =="
+{ echo "$HEADER"
+  cargo run --release -q -p gofree-bench --bin table7 -- \
+    --jobs "$JOBS" --collector gen "${ARGS[@]}"
+} | tee results/table7_gen.txt
 echo "== engines =="
 { echo "$HEADER"
   cargo run --release -q -p gofree-bench --bin engines -- \

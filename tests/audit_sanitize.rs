@@ -12,10 +12,15 @@
 //!   program must be flagged by the sanitizer (and rejected by the
 //!   auditor) on both engines, and `--audit deny` must make the same
 //!   program run clean by stripping the unproven free.
+//! * **Generational gate** — the soundness sweep must also hold under
+//!   `--collector gen` (minor cycles sweep and recycle nursery slots the
+//!   Go backend would leave alone), and a directed nursery-reuse
+//!   use-after-free plant must be caught by the shadow heap on both
+//!   engines.
 
 use gofree::{
-    compile, execute, run_distribution, AuditMode, CompileOptions, Compiled, RunConfig, Setting,
-    ViolationKind, VmEngine,
+    compile, execute, run_distribution, AuditMode, CollectorKind, CompileOptions, Compiled,
+    RunConfig, Setting, ViolationKind, VmEngine,
 };
 use gofree_workloads::{corpus, fuzzgen, Scale};
 
@@ -85,6 +90,39 @@ fn auditor_proved_programs_are_sanitizer_clean_on_both_engines() {
 }
 
 #[test]
+fn auditor_proved_programs_are_sanitizer_clean_under_generational() {
+    // The same soundness gate as above, under the generational backend:
+    // a small nursery forces minor cycles, whose sweep recycles young
+    // slots — any unsoundness in how tcfree and the nursery interact
+    // (stale young-set entries, slots freed while reachable) shows up as
+    // a shadow-heap violation here.
+    for (label, src) in corpus_sources() {
+        let compiled = compile_audited(&label, &src);
+        let report = compiled.audit.as_ref().expect("audit ran");
+        if report.proved() != report.sites.len() {
+            continue;
+        }
+        for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+            let cfg = RunConfig {
+                engine,
+                sanitize: true,
+                collector: CollectorKind::Generational,
+                nursery_size: 16 * 1024,
+                ..RunConfig::deterministic(7)
+            };
+            let Ok(run) = execute(&compiled, Setting::GoFree, &cfg) else {
+                continue; // fuzzed programs may fail (bounds, nil) — not a gate
+            };
+            assert!(
+                run.violations.is_empty(),
+                "{label} ({engine}, gen): auditor proved every site but the sanitizer found {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+#[test]
 fn sanitizer_is_observationally_invisible() {
     for (label, src) in corpus_sources() {
         let compiled = compile_audited(&label, &src);
@@ -128,26 +166,32 @@ fn sanitizer_is_observationally_invisible() {
 fn sanitized_distributions_are_jobs_invariant() {
     let w = &gofree_workloads::all(Scale::Test)[0];
     let compiled = compile_audited(w.name, &w.source);
-    let run_with = |jobs: usize| {
-        let cfg = RunConfig {
-            sanitize: true,
-            jobs,
-            ..RunConfig::deterministic(3)
+    for collector in CollectorKind::all() {
+        let run_with = |jobs: usize| {
+            let cfg = RunConfig {
+                sanitize: true,
+                jobs,
+                collector,
+                ..RunConfig::deterministic(3)
+            };
+            run_distribution(&compiled, Setting::GoFree, &cfg, 6).expect("distribution")
         };
-        run_distribution(&compiled, Setting::GoFree, &cfg, 6).expect("distribution")
-    };
-    let seq = run_with(1);
-    let par = run_with(2);
-    assert_eq!(seq.len(), par.len());
-    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
-        assert_eq!(a.output, b.output, "run {i}: output");
-        assert_eq!(a.time, b.time, "run {i}: time");
-        assert_eq!(
-            format!("{:?}", a.metrics),
-            format!("{:?}", b.metrics),
-            "run {i}: metrics"
-        );
-        assert_eq!(a.violations, b.violations, "run {i}: violations");
+        let seq = run_with(1);
+        let par = run_with(2);
+        assert_eq!(seq.len(), par.len());
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.output, b.output, "{collector} run {i}: output");
+            assert_eq!(a.time, b.time, "{collector} run {i}: time");
+            assert_eq!(
+                format!("{:?}", a.metrics),
+                format!("{:?}", b.metrics),
+                "{collector} run {i}: metrics"
+            );
+            assert_eq!(
+                a.violations, b.violations,
+                "{collector} run {i}: violations"
+            );
+        }
     }
 }
 
@@ -187,6 +231,61 @@ fn planted_bug_is_caught_by_both_oracles_on_both_engines() {
             "{engine}: sanitizer missed the planted use-after-free"
         );
         assert_eq!(run.violations[0].kind, ViolationKind::UseAfterFree);
+        flagged.push(run.violations);
+    }
+    assert_eq!(flagged[0], flagged[1], "engines agree on the violations");
+}
+
+/// The nursery-reuse plant: a slice is freed by hand, allocation churn
+/// then drives the generational backend through minor cycles — whose
+/// sweep recycles the freed nursery slot into new objects — and the
+/// stale pointer is finally read. `churn`'s buffer has a non-constant
+/// size, so every iteration heap-allocates and the nursery fills fast.
+const NURSERY_REUSE_BUG: &str = "func churn(n int) int { b := make([]int, n)\n b[0] = 1\n \
+     return b[0] }\nfunc main() { n := 64\n s := make([]int, n)\n s[0] = 7\n tcfree(s)\n \
+     total := 0\n for i := 0; i < 2000; i += 1 { total += churn(64) }\n \
+     print(s[0] + total) }\n";
+
+#[test]
+fn nursery_reuse_plant_is_caught_by_the_shadow_heap() {
+    let audited = compile(
+        NURSERY_REUSE_BUG,
+        &CompileOptions {
+            audit: AuditMode::Warn,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    // The auditor already rejects the premature hand-written free.
+    let report = audited.audit.as_ref().expect("audit ran");
+    assert!(
+        report.unproven().count() >= 1,
+        "auditor must reject the premature free"
+    );
+    let mut flagged = Vec::new();
+    for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+        let cfg = RunConfig {
+            engine,
+            sanitize: true,
+            collector: CollectorKind::Generational,
+            nursery_size: 16 * 1024,
+            ..RunConfig::deterministic(0)
+        };
+        let run = execute(&audited, Setting::GoFree, &cfg).expect("runs to completion");
+        assert!(
+            run.metrics.gcs_minor >= 1,
+            "{engine}: the churn loop must drive at least one minor cycle \
+             (got {:?} cycles) or the plant is not exercising the nursery",
+            run.metrics.gcs
+        );
+        assert!(
+            !run.violations.is_empty(),
+            "{engine}: shadow heap missed the nursery-reuse use-after-free"
+        );
+        // The free went down the small-object allocation-index revert
+        // path, so the stale read is classified as use-after-revert —
+        // the revert flavour of use-after-free.
+        assert_eq!(run.violations[0].kind, ViolationKind::UseAfterRevert);
         flagged.push(run.violations);
     }
     assert_eq!(flagged[0], flagged[1], "engines agree on the violations");
