@@ -1,16 +1,18 @@
-//! Wall-clock comparison of the two execution engines.
+//! Wall-clock comparison of the execution engines.
 //!
 //! Runs every workload under Go and GoFree on the tree-walking
-//! interpreter and the bytecode VM, printing the best-of-N host time
-//! for each and the geomean speedup. Virtual-time metrics are identical
-//! across engines by construction (tests/engines.rs enforces this), so
-//! host time is the only dimension where the engines differ.
+//! interpreter, the baseline bytecode VM (`--opt off`), and the
+//! optimized bytecode VM (`--opt full`), printing the best-of-N host
+//! time for each and the geomean speedups. Virtual-time metrics are
+//! identical across all three by construction (tests/engines.rs
+//! enforces this), so host time is the only dimension where they
+//! differ.
 //!
 //! `results/vm_engines.txt` is a saved run of this binary.
 
 use std::time::{Duration, Instant};
 
-use gofree::{compile, execute, Compiled, RunConfig, Setting, VmEngine};
+use gofree::{compile, execute, Compiled, OptLevel, RunConfig, Setting, VmEngine};
 use gofree_bench::HarnessOptions;
 
 fn best_of(reps: u64, compiled: &Compiled, setting: Setting, cfg: &RunConfig) -> Duration {
@@ -25,6 +27,10 @@ fn best_of(reps: u64, compiled: &Compiled, setting: Setting, cfg: &RunConfig) ->
         .expect("at least one rep")
 }
 
+fn geomean(ratios: &[f64]) -> f64 {
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let reps = if opts.quick { 2 } else { 5 };
@@ -34,40 +40,54 @@ fn main() {
         opts.scale()
     );
     println!(
-        "{:<10} {:<7} {:>12} {:>12} {:>9}",
-        "workload", "setting", "tree-walk", "bytecode", "speedup"
+        "{:<10} {:<7} {:>12} {:>12} {:>13} {:>8} {:>8}",
+        "workload", "setting", "tree-walk", "bytecode", "bytecode+opt", "bc/tw", "opt/bc"
     );
-    let mut ratios = Vec::new();
+    let mut bc_over_tw = Vec::new();
+    let mut opt_over_bc = Vec::new();
+    let mut opt_over_tw = Vec::new();
     for w in gofree_workloads::all(opts.scale()) {
         for setting in [Setting::Go, Setting::GoFree] {
             let compiled =
                 compile(&w.source, &setting.compile_options()).expect("workload compiles");
-            let time = |engine: VmEngine| {
+            let time = |engine: VmEngine, opt: OptLevel| {
                 let cfg = RunConfig {
                     engine,
+                    opt,
                     ..base.clone()
                 };
                 best_of(reps, &compiled, setting, &cfg)
             };
-            let tree = time(VmEngine::TreeWalk);
-            let byte = time(VmEngine::Bytecode);
-            let speedup = tree.as_secs_f64() / byte.as_secs_f64();
-            ratios.push(speedup);
+            let tree = time(VmEngine::TreeWalk, OptLevel::Off);
+            let byte = time(VmEngine::Bytecode, OptLevel::Off);
+            let opt = time(VmEngine::Bytecode, OptLevel::Full);
+            let bc_tw = tree.as_secs_f64() / byte.as_secs_f64();
+            let opt_bc = byte.as_secs_f64() / opt.as_secs_f64();
+            bc_over_tw.push(bc_tw);
+            opt_over_bc.push(opt_bc);
+            opt_over_tw.push(tree.as_secs_f64() / opt.as_secs_f64());
             println!(
-                "{:<10} {:<7} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+                "{:<10} {:<7} {:>10.2}ms {:>10.2}ms {:>11.2}ms {:>7.2}x {:>7.2}x",
                 w.name,
                 setting.to_string(),
                 tree.as_secs_f64() * 1e3,
                 byte.as_secs_f64() * 1e3,
-                speedup
+                opt.as_secs_f64() * 1e3,
+                bc_tw,
+                opt_bc
             );
         }
     }
-    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
-    println!("\ngeomean speedup: {geomean:.2}x (bytecode over tree-walk)");
+    println!(
+        "\ngeomean speedups: bytecode {:.2}x over tree-walk; \
+         bytecode+opt {:.2}x over bytecode, {:.2}x over tree-walk",
+        geomean(&bc_over_tw),
+        geomean(&opt_over_bc),
+        geomean(&opt_over_tw)
+    );
 
     // `--trace PATH`: export one traced GoFree run of the json workload
-    // (traces are engine-identical, so the selected engine is moot).
+    // (traces are engine- and opt-identical, so the selection is moot).
     if opts.trace.is_some() {
         let w = gofree_workloads::by_name("json", opts.scale()).expect("json workload");
         let compiled = compile(&w.source, &Setting::GoFree.compile_options()).expect("compiles");

@@ -33,6 +33,10 @@ pub struct HarnessOptions {
     /// either way (differential-tested); the engines only differ in host
     /// wall-clock speed.
     pub engine: gofree::VmEngine,
+    /// Which bytecode instruction stream runs (`full` = the optimizer
+    /// tier, the default; `off` = the baseline lowering). Like
+    /// `engine`, results are identical either way.
+    pub opt: gofree::OptLevel,
     /// Worker threads fanning (workload × setting × run-index) cells
     /// across cores. Reported numbers are identical for any value
     /// (tests/parallel.rs); only host wall-clock changes.
@@ -66,6 +70,7 @@ impl Default for HarnessOptions {
             runs: 99,
             quick: false,
             engine: gofree::VmEngine::default(),
+            opt: gofree::OptLevel::default(),
             jobs: gofree::default_jobs(),
             collector: gofree::CollectorKind::default(),
             trace: None,
@@ -109,6 +114,11 @@ impl HarnessOptions {
                         opts.collector = c;
                     }
                 }
+                "--opt" => {
+                    if let Some(o) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.opt = o;
+                    }
+                }
                 "--trace" | "-t" => {
                     if let Some(path) = args.next() {
                         opts.trace = Some(path);
@@ -129,6 +139,7 @@ impl HarnessOptions {
                     eprintln!(
                         "options: --runs N (default 99), --quick, \
                          --engine tree-walk|bytecode (default bytecode), \
+                         --opt off|full (default full), \
                          --jobs N (default GOFREE_JOBS or 1), \
                          --collector go|gen (default go), \
                          --trace PATH (export a run's event trace as Chrome JSON), \
@@ -158,6 +169,7 @@ impl HarnessOptions {
     pub fn run_config(&self) -> RunConfig {
         RunConfig {
             engine: self.engine,
+            opt: self.opt,
             jobs: self.jobs,
             collector: self.collector,
             trace: self.observing(),

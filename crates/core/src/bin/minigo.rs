@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--collector go|gen]
-//!            [--audit MODE] [--sanitize] [--explain] [--trace PATH]
-//!            [--profile PATH] [--gctrace] [--report-json PATH]
-//!            [--trace-cap N] <file>
+//!            [--opt off|full] [--audit MODE] [--sanitize] [--explain]
+//!            [--trace PATH] [--profile PATH] [--gctrace]
+//!            [--report-json PATH] [--trace-cap N] <file>
 //! minigo build [--go] [--audit MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -26,7 +26,11 @@
 //! profile does not reconcile exactly with the run's metrics.
 //! `--collector {go,gen}` selects the collection backend: `go` (the
 //! default) is the paper's mark-sweep, `gen` adds a generational nursery
-//! with minor/major cycles. `--gctrace` prints a Go
+//! with minor/major cycles. `--opt {off,full}` selects the bytecode
+//! instruction stream: `full` (the default) runs the optimizer tier
+//! (peephole/const-fold, jump threading, inline caches,
+//! superinstructions), `off` runs the baseline lowering; observables
+//! are bit-identical either way. `--gctrace` prints a Go
 //! `GODEBUG=gctrace=1`-style pacing line per GC cycle to stderr, tagged
 //! with the backend and cycle kind, plus a final minor/major summary. `--report-json PATH` writes the run report as JSON
 //! with stable field names. `--trace-cap N` bounds the in-memory event
@@ -57,6 +61,7 @@ struct Cli {
     runs: u64,
     audit: AuditMode,
     collector: gofree::CollectorKind,
+    opt: gofree::OptLevel,
     sanitize: bool,
     explain: bool,
     trace: Option<String>,
@@ -77,6 +82,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         runs: 1,
         audit: AuditMode::Off,
         collector: gofree::CollectorKind::default(),
+        opt: gofree::OptLevel::default(),
         sanitize: false,
         explain: false,
         trace: None,
@@ -121,6 +127,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--collector" => {
                 cli.collector = it.next().ok_or("--collector needs go or gen")?.parse()?;
+            }
+            "--opt" => {
+                cli.opt = it.next().ok_or("--opt needs off or full")?.parse()?;
             }
             "--sanitize" => cli.sanitize = true,
             "--explain" => cli.explain = true,
@@ -198,6 +207,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 seed: cli.seed,
                 jobs: cli.jobs,
                 collector: cli.collector,
+                opt: cli.opt,
                 sanitize: cli.sanitize,
                 trace: cli.trace.is_some() || cli.profile.is_some() || cli.gctrace,
                 trace_cap: cli.trace_cap,
@@ -382,9 +392,9 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
-     [--runs N] [--jobs N] [--collector go|gen] [--audit off|warn|deny] [--sanitize] \
-     [--explain] [--trace PATH] [--profile PATH] [--gctrace] [--report-json PATH] \
-     [--trace-cap N] [--func NAME] <file>"
+     [--runs N] [--jobs N] [--collector go|gen] [--opt off|full] [--audit off|warn|deny] \
+     [--sanitize] [--explain] [--trace PATH] [--profile PATH] [--gctrace] \
+     [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
         .to_string()
 }
 

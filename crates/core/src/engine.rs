@@ -88,6 +88,46 @@ impl std::str::FromStr for VmEngine {
     }
 }
 
+/// Which instruction stream the bytecode engine executes.
+///
+/// Both streams are observationally identical — the optimizer tier
+/// preserves every tick charge, so outputs, virtual times, metrics,
+/// traces, and profiles are bit-identical (the differential tests
+/// enforce this across the corpus). `Off` keeps the baseline lowering
+/// for debugging and differential checks. Ignored by the tree-walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Run the baseline lowered stream, bypassing the optimizer tier.
+    Off,
+    /// Run the optimized stream (peephole/const-fold, jump threading,
+    /// inline caches, superinstructions) — the default.
+    #[default]
+    Full,
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::Off => write!(f, "off"),
+            OptLevel::Full => write!(f, "full"),
+        }
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "0" | "none" => Ok(OptLevel::Off),
+            "full" | "on" => Ok(OptLevel::Full),
+            other => Err(format!(
+                "unknown opt level {other:?} (expected \"off\" or \"full\")"
+            )),
+        }
+    }
+}
+
 /// Per-run knobs.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -107,6 +147,9 @@ pub struct RunConfig {
     pub step_limit: u64,
     /// Which VM engine executes the program.
     pub engine: VmEngine,
+    /// Which instruction stream the bytecode engine runs ([`OptLevel`]);
+    /// observables are bit-identical either way.
+    pub opt: OptLevel,
     /// Run the shadow-heap sanitizer: every load, store, and free is
     /// checked against an out-of-band shadow of the heap and violations
     /// are reported in [`Report::violations`]. The rest of the report
@@ -153,6 +196,7 @@ impl Default for RunConfig {
             poison: PoisonMode::Off,
             step_limit: 500_000_000,
             engine: VmEngine::default(),
+            opt: OptLevel::default(),
             sanitize: false,
             trace: false,
             trace_cap: None,
@@ -230,15 +274,20 @@ pub fn execute(
         sanitize: cfg.sanitize,
         ..VmConfig::default()
     };
-    let mut report = match cfg.engine {
-        VmEngine::TreeWalk => run(
+    let mut report = match (cfg.engine, cfg.opt) {
+        (VmEngine::TreeWalk, _) => run(
             &compiled.program,
             &compiled.resolution,
             &compiled.types,
             &compiled.analysis,
             vm_cfg,
         )?,
-        VmEngine::Bytecode => minigo_vm::run_module(&compiled.lowered, vm_cfg)?,
+        (VmEngine::Bytecode, OptLevel::Off) => minigo_vm::run_module(&compiled.lowered, vm_cfg)?,
+        (VmEngine::Bytecode, OptLevel::Full) => {
+            let mut r = minigo_vm::run_module(&compiled.optimized, vm_cfg)?;
+            r.opt = Some(compiled.opt_stats.clone());
+            r
+        }
     };
     // A compile-time fact, copied into every run's metrics so audited
     // builds report how much reclamation `--audit deny` gave up.

@@ -30,8 +30,8 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::{
-    compile_and_run, default_jobs, execute, run_distribution, run_matrix, run_seed, Report,
-    RunConfig, Setting, VmEngine,
+    compile_and_run, default_jobs, execute, run_distribution, run_matrix, run_seed, OptLevel,
+    Report, RunConfig, Setting, VmEngine,
 };
 pub use experiment::{
     distribution, fig10_point, table7_row, table8_row, table9_row, Distribution, Fig10Point,
@@ -51,4 +51,4 @@ pub use minigo_runtime::{
     Category, CollectorKind, ConfigError, CycleKind, FreeSource, HeapSnapshot, PoisonMode, Profile,
     ShadowViolation, StackStat, StackTable, Trace, TraceEvent, ViolationKind,
 };
-pub use minigo_vm::{ExecError, SiteProfile};
+pub use minigo_vm::{ExecError, OptStats, SiteProfile};

@@ -88,9 +88,17 @@ pub struct Compiled {
     pub types: TypeInfo,
     /// The escape analysis results (allocation decisions, free choices).
     pub analysis: Analysis,
-    /// The program lowered to the slot-indexed bytecode IR (the default
-    /// execution engine; the tree-walk ignores it).
+    /// The program lowered to the slot-indexed bytecode IR — the
+    /// baseline instruction stream, kept for the tree-walk-independent
+    /// `--opt off` debugging path.
     pub lowered: minigo_vm::Module,
+    /// The optimizer tier's rewrite of `lowered` (peephole/const-fold,
+    /// jump threading, inline caches, superinstructions) — what the
+    /// bytecode engine runs by default. Observationally identical to
+    /// `lowered`; only host wall-clock differs.
+    pub optimized: minigo_vm::Module,
+    /// Per-pass rewrite counters from producing `optimized`.
+    pub opt_stats: minigo_vm::OptStats,
     /// The free-safety audit report, when auditing was requested.
     pub audit: Option<AuditReport>,
     /// Free sites stripped under [`AuditMode::Deny`] (copied into every
@@ -167,12 +175,17 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
     let t = std::time::Instant::now();
     let lowered = minigo_vm::lower(&program, &resolution, &types, &analysis);
     timed("lower", t.elapsed().as_nanos());
+    let t = std::time::Instant::now();
+    let (optimized, opt_stats) = minigo_vm::optimize(&lowered);
+    timed("optimize", t.elapsed().as_nanos());
     Ok(Compiled {
         program,
         resolution,
         types,
         analysis,
         lowered,
+        optimized,
+        opt_stats,
         audit: report,
         frees_suppressed,
         phase_times,

@@ -18,8 +18,11 @@ use minigo_runtime::Metrics;
 ///
 /// `gofree-report/2` is `gofree-report/1` plus the collector backend:
 /// a top-level `"collector"` name and `gcs_minor`/`gcs_major` cycle
-/// counts inside `"metrics"`. Every v1 field is unchanged.
-pub const REPORT_SCHEMA: &str = "gofree-report/2";
+/// counts inside `"metrics"`. `gofree-report/3` is v2 plus the
+/// optimizer tier: top-level `"ic_hits"`/`"ic_misses"` counters and an
+/// `"opt"` object with the per-pass rewrite counters (`null` when the
+/// run executed an unoptimized stream). Every v2 field is unchanged.
+pub const REPORT_SCHEMA: &str = "gofree-report/3";
 
 fn u64_array(values: &[u64]) -> String {
     let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -87,10 +90,30 @@ pub fn report_json(report: &Report) -> String {
         Some(t) => (t.events.len() as u64, t.events_dropped),
         None => (0, 0),
     };
+    let opt = match &report.opt {
+        Some(o) => format!(
+            "{{\"instrs_before\":{},\"instrs_after\":{},\"consts_folded\":{},\
+             \"branches_folded\":{},\"pushpops_elided\":{},\"ticks_merged\":{},\
+             \"jumps_threaded\":{},\"ic_sites\":{},\"fusions\":{}}}",
+            o.instrs_before,
+            o.instrs_after,
+            o.consts_folded,
+            o.branches_folded,
+            o.pushpops_elided,
+            o.ticks_merged,
+            o.jumps_threaded,
+            o.ic_sites,
+            o.fusions,
+        ),
+        None => "null".to_string(),
+    };
     let _ = write!(
         out,
-        "\"violations\":{},\"trace_events\":{trace_events},\"events_dropped\":{events_dropped}}}",
+        "\"violations\":{},\"trace_events\":{trace_events},\"events_dropped\":{events_dropped},\
+         \"ic_hits\":{},\"ic_misses\":{},\"opt\":{opt}}}",
         report.violations.len(),
+        report.ic_hits,
+        report.ic_misses,
     );
     out.push('\n');
     out
@@ -133,11 +156,19 @@ mod tests {
             violations: Vec::new(),
             trace: None,
             collector: minigo_runtime::CollectorKind::Go,
+            ic_hits: 9,
+            ic_misses: 2,
+            opt: Some(minigo_vm::OptStats {
+                instrs_before: 100,
+                instrs_after: 80,
+                fusions: 6,
+                ..minigo_vm::OptStats::default()
+            }),
         };
         let json = report_json(&report);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for needle in [
-            "\"schema\":\"gofree-report/2\"",
+            "\"schema\":\"gofree-report/3\"",
             "\"collector\":\"go\"",
             "\"output\":\"hi \\\"there\\\"\\n\"",
             "\"alloced_bytes\":1024",
@@ -146,6 +177,10 @@ mod tests {
             "\"site\":7",
             "\"trace_events\":0",
             "\"events_dropped\":0",
+            "\"ic_hits\":9",
+            "\"ic_misses\":2",
+            "\"opt\":{\"instrs_before\":100,\"instrs_after\":80",
+            "\"fusions\":6",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

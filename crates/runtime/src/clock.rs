@@ -85,11 +85,13 @@ impl Clock {
     }
 
     /// Elapsed virtual ticks.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.total
     }
 
     /// Charges exactly `ticks`.
+    #[inline]
     pub fn charge(&mut self, ticks: u64) {
         self.total += ticks;
     }

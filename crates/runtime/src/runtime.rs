@@ -273,21 +273,25 @@ impl Runtime {
     }
 
     /// Elapsed virtual time.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.clock.now()
     }
 
     /// Charges interpreter work to the clock.
+    #[inline]
     pub fn tick(&mut self, ticks: u64) {
         self.clock.charge(ticks);
     }
 
     /// Current live heap bytes.
+    #[inline]
     pub fn heap_live(&self) -> u64 {
         self.heap.heap_live()
     }
 
     /// Whether a collection should run at the next safepoint.
+    #[inline]
     pub fn gc_pending(&self) -> bool {
         self.collector.gc_pending()
     }

@@ -13,7 +13,7 @@
 //! which marks only frame slots and deferred-call arguments.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use minigo_runtime::{Category, FreeOutcome, FreeSource, ObjAddr, Runtime, ShadowHeap};
@@ -21,6 +21,7 @@ use minigo_syntax::Builtin;
 
 use super::ir::{BFunc, Const, Instr, Module};
 use crate::error::ExecError;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interp::{binop_rt, check_poison, free_op_name, mark_value, value_eq};
 use crate::interp::{Result, RunOutcome, SiteProfile, VmConfig};
 use crate::value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};
@@ -37,7 +38,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
     if module.main == usize::MAX {
         return Err(ExecError::NoMain);
     }
-    let mut vm = BVm::new(cfg, &module.consts);
+    let mut vm = BVm::new(cfg, module);
     vm.run_function(module, module.main, Vec::new())?;
     vm.rt.finalize();
     let mut site_profile: Vec<SiteProfile> = vm
@@ -65,6 +66,9 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         violations,
         trace,
         collector: vm.rt.collector_kind(),
+        ic_hits: vm.ic_hits,
+        ic_misses: vm.ic_misses,
+        opt: None,
     })
 }
 
@@ -99,11 +103,16 @@ struct BVm {
     /// are `Rc`-shared within the run, as with the old `Value` pool.
     consts: Vec<Value>,
     rt: Runtime,
-    objects: HashMap<ObjId, ObjAddr>,
-    addr_map: HashMap<ObjAddr, ObjId>,
+    objects: FxHashMap<ObjId, ObjAddr>,
+    addr_map: FxHashMap<ObjAddr, ObjId>,
     next_obj: u64,
     frames: Vec<BFrame>,
-    site_profile: HashMap<minigo_syntax::ExprId, (u64, u64)>,
+    /// Retired frame-slot vectors, reused across calls so a call does
+    /// not malloc (values were dropped when the owning frame popped).
+    slot_pool: Vec<Vec<BSlot>>,
+    /// Retired operand stacks, reused across calls for the same reason.
+    stack_pool: Vec<Vec<Value>>,
+    site_profile: FxHashMap<minigo_syntax::ExprId, (u64, u64)>,
     /// Interned call stacks when tracing (hooked at the same function
     /// entry/exit points as the tree-walk's, so ids are bit-identical
     /// across engines).
@@ -113,10 +122,32 @@ struct BVm {
     /// The shadow-heap sanitizer, present when `cfg.sanitize` is on
     /// (hooked at the same points as the tree-walk's).
     shadow: Option<ShadowHeap>,
+    /// Monomorphic inline caches, one per `ic_slots` entry in the
+    /// module. A cache can only *miss* when stale (the tag is the map
+    /// storage's address and the cached entry's key is re-checked on
+    /// every hit), so it accelerates lookups without being able to
+    /// change any observable result.
+    ics: Vec<IcEntry>,
+    ic_hits: u64,
+    ic_misses: u64,
     output: String,
     steps: u64,
 }
 
+/// One inline-cache entry: the identity of the last map storage seen at
+/// this site plus the entry index its key resolved to.
+#[derive(Clone, Copy)]
+struct IcEntry {
+    tag: usize,
+    idx: usize,
+}
+
+const IC_EMPTY: IcEntry = IcEntry {
+    tag: 0,
+    idx: usize::MAX,
+};
+
+#[inline]
 fn bslot(value: Value, boxed: bool) -> BSlot {
     if boxed {
         BSlot::Boxed(Rc::new(RefCell::new(value)), None)
@@ -133,23 +164,65 @@ fn expected_int(v: &Value) -> ExecError {
     ExecError::Internal(format!("expected int, got {}", v.display()))
 }
 
+/// The `CheckIndexBase` test, shared with the fused index handlers.
+#[inline]
+fn check_index_base(v: &Value) -> Result<()> {
+    match v {
+        Value::Slice(_) | Value::Map(_) => Ok(()),
+        Value::Nil => Err(ExecError::NilDeref),
+        _ => Err(ExecError::Internal("index of non-indexable".into())),
+    }
+}
+
+/// The `Len` computation, shared with the fused length handlers.
+#[inline]
+fn len_of(v: Value) -> Result<Value> {
+    let n = match v {
+        Value::Slice(s) => s.len as i64,
+        Value::Map(map) => map.data.borrow().len() as i64,
+        Value::Str(s) => s.len() as i64,
+        Value::Nil => 0,
+        _ => return Err(ExecError::Internal("len of bad value".into())),
+    };
+    Ok(Value::Int(n))
+}
+
+/// The `JumpIfFalse` test, shared with the fused branch handlers.
+#[inline]
+fn branch_if_false(v: Value, pc: &mut usize, t: usize) -> Result<()> {
+    match v {
+        Value::Bool(b) => {
+            if !b {
+                *pc = t;
+            }
+            Ok(())
+        }
+        other => Err(expected_bool(&other)),
+    }
+}
+
 impl BVm {
-    fn new(cfg: VmConfig, consts: &[Const]) -> Self {
+    fn new(cfg: VmConfig, module: &Module) -> Self {
         let rt = Runtime::new(cfg.runtime.clone());
         let shadow = cfg.sanitize.then(ShadowHeap::new);
         let stacks = cfg.runtime.trace.then(minigo_runtime::StackTable::new);
         BVm {
             cfg,
-            consts: consts.iter().map(Const::to_value).collect(),
+            consts: module.consts.iter().map(Const::to_value).collect(),
             rt,
-            objects: HashMap::new(),
-            addr_map: HashMap::new(),
+            objects: FxHashMap::default(),
+            addr_map: FxHashMap::default(),
             next_obj: 0,
             frames: Vec::new(),
-            site_profile: HashMap::new(),
+            slot_pool: Vec::new(),
+            stack_pool: Vec::new(),
+            site_profile: FxHashMap::default(),
             stacks,
             cur_stack: minigo_runtime::ROOT_STACK,
             shadow,
+            ics: vec![IC_EMPTY; module.ic_slots as usize],
+            ic_hits: 0,
+            ic_misses: 0,
             output: String::new(),
             steps: 0,
         }
@@ -216,6 +289,7 @@ impl BVm {
 
     // ---- GC ----
 
+    #[inline]
     fn safepoint(&mut self) -> Result<()> {
         self.steps += 1;
         if self.steps > self.cfg.step_limit {
@@ -230,7 +304,7 @@ impl BVm {
 
     fn collect_garbage(&mut self) {
         let mut marked: HashSet<ObjAddr> = HashSet::new();
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
         for frame in &self.frames {
             for slot in &frame.slots {
                 match slot {
@@ -285,6 +359,7 @@ impl BVm {
 
     // ---- collector write barriers (mirror the tree-walk's) ----
 
+    #[inline]
     fn barrier_store(&mut self, obj: Option<ObjId>) {
         if let Some(obj) = obj {
             if let Some(&addr) = self.objects.get(&obj) {
@@ -301,17 +376,44 @@ impl BVm {
 
     // ---- calls ----
 
-    fn run_function(&mut self, m: &Module, fid: usize, args: Vec<Value>) -> Result<Vec<Value>> {
+    /// Calls a function whose results are discarded (entry point and
+    /// deferred calls); `args` become the callee's parameters. Results
+    /// are still read and poison-checked exactly as a stack call's.
+    fn run_function(&mut self, m: &Module, fid: usize, args: Vec<Value>) -> Result<()> {
+        let mut stack = args;
+        let nargs = stack.len();
+        self.call_on_stack(m, fid, &mut stack, nargs, u32::MAX)
+    }
+
+    /// The call protocol: moves the top `nargs` of the caller's operand
+    /// stack into the callee's parameter slots, runs body + defers, and
+    /// pushes the poison-checked results back (dropped when `want` is
+    /// `u32::MAX`). Frame-slot vectors and operand stacks are recycled
+    /// through pools, so a call steady-state allocates nothing.
+    fn call_on_stack(
+        &mut self,
+        m: &Module,
+        fid: usize,
+        stack: &mut Vec<Value>,
+        nargs: usize,
+        want: u32,
+    ) -> Result<()> {
         if self.frames.len() >= self.cfg.max_frames {
             return Err(ExecError::StackOverflow);
         }
         let f = &m.funcs[fid];
-        let mut slots = vec![BSlot::Empty; f.nslots as usize];
-        for (&(slot, boxed), arg) in f.params.iter().zip(args) {
+        let mut slots = self.slot_pool.pop().unwrap_or_default();
+        slots.resize(f.nslots as usize, BSlot::Empty);
+        let base = stack.len() - nargs;
+        for (&(slot, boxed), arg) in f.params.iter().zip(stack.drain(base..)) {
             slots[slot as usize] = bslot(arg, boxed);
         }
         for &(slot, boxed, zero) in &f.results {
-            let zero = zero.ok_or_else(|| ExecError::Internal("untyped result".into()))?;
+            let Some(zero) = zero else {
+                slots.clear();
+                self.slot_pool.push(slots);
+                return Err(ExecError::Internal("untyped result".into()));
+            };
             slots[slot as usize] = bslot(self.consts[zero as usize].clone(), boxed);
         }
         self.frames.push(BFrame {
@@ -322,19 +424,14 @@ impl BVm {
 
         let body = self.exec(m, f);
         let defer_result = self.run_defers(m);
-        let flow = match (body, defer_result) {
-            (Err(e), _) => Err(e),
-            (_, Err(e)) => Err(e),
-            (Ok(()), Ok(())) => Ok(()),
-        };
-        match flow {
+        match body.and(defer_result) {
             Err(e) => {
                 self.leave_stack(parent_stack);
-                self.frames.pop();
+                self.pop_frame();
                 Err(e)
             }
             Ok(()) => {
-                let mut results = Vec::new();
+                let rbase = stack.len();
                 for &(slot, _, _) in &f.results {
                     let frame = self.frames.last().expect("in a frame");
                     let v = match &frame.slots[slot as usize] {
@@ -347,12 +444,27 @@ impl BVm {
                             )))
                         }
                     };
-                    results.push(check_poison(v)?);
+                    stack.push(check_poison(v)?);
                 }
                 self.leave_stack(parent_stack);
-                self.frames.pop();
-                Ok(results)
+                self.pop_frame();
+                if want == u32::MAX {
+                    stack.truncate(rbase);
+                } else if stack.len() - rbase != want as usize {
+                    return Err(ExecError::Internal("result arity mismatch".into()));
+                }
+                Ok(())
             }
+        }
+    }
+
+    /// Pops the current frame, recycling its slot vector (the slot
+    /// values drop here, exactly when the frame itself used to drop).
+    fn pop_frame(&mut self) {
+        if let Some(frame) = self.frames.pop() {
+            let mut slots = frame.slots;
+            slots.clear();
+            self.slot_pool.push(slots);
         }
     }
 
@@ -395,10 +507,18 @@ impl BVm {
 
     // ---- the dispatch loop ----
 
-    #[allow(clippy::too_many_lines)]
+    /// Runs one function body on a pooled operand stack.
     fn exec(&mut self, m: &Module, f: &BFunc) -> Result<()> {
+        let mut stack = self.stack_pool.pop().unwrap_or_default();
+        let res = self.exec_on(m, f, &mut stack);
+        stack.clear();
+        self.stack_pool.push(stack);
+        res
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_on(&mut self, m: &Module, f: &BFunc, stack: &mut Vec<Value>) -> Result<()> {
         let code = &f.code;
-        let mut stack: Vec<Value> = Vec::new();
         let mut pc = 0usize;
         loop {
             let instr = &code[pc];
@@ -407,7 +527,7 @@ impl BVm {
                 Instr::Safepoint => self.safepoint()?,
                 Instr::Tick(n) => self.rt.tick(u64::from(*n)),
                 Instr::Jump(t) => pc = *t,
-                Instr::JumpIfFalse(t) => match pop(&mut stack) {
+                Instr::JumpIfFalse(t) => match pop(stack) {
                     Value::Bool(b) => {
                         if !b {
                             pc = *t;
@@ -415,7 +535,7 @@ impl BVm {
                     }
                     other => return Err(expected_bool(&other)),
                 },
-                Instr::AndJump(t) => match pop(&mut stack) {
+                Instr::AndJump(t) => match pop(stack) {
                     Value::Bool(b) => {
                         if !b {
                             stack.push(Value::Bool(false));
@@ -424,7 +544,7 @@ impl BVm {
                     }
                     other => return Err(expected_bool(&other)),
                 },
-                Instr::OrJump(t) => match pop(&mut stack) {
+                Instr::OrJump(t) => match pop(stack) {
                     Value::Bool(b) => {
                         if b {
                             stack.push(Value::Bool(true));
@@ -440,7 +560,7 @@ impl BVm {
                     }
                 }
                 Instr::CaseJump(t) => {
-                    let cv = pop(&mut stack);
+                    let cv = pop(stack);
                     let sv = stack.last().expect("operand stack underflow");
                     if value_eq(sv, &cv)? {
                         stack.pop();
@@ -454,18 +574,11 @@ impl BVm {
                     want,
                     value_pos,
                 } => {
-                    let argv = stack.split_off(stack.len() - *nargs as usize);
                     if *value_pos {
                         self.rt.tick(1);
                     }
                     self.rt.tick(2);
-                    let out = self.run_function(m, *fid, argv)?;
-                    if *want != u32::MAX {
-                        if out.len() != *want as usize {
-                            return Err(ExecError::Internal("result arity mismatch".into()));
-                        }
-                        stack.extend(out);
-                    }
+                    self.call_on_stack(m, *fid, stack, *nargs as usize, *want)?;
                 }
                 Instr::DeferFunc { fid, nargs } => {
                     let args = stack.split_off(stack.len() - *nargs as usize);
@@ -496,29 +609,12 @@ impl BVm {
                 Instr::ConstRaw(c) => stack.push(self.consts[*c as usize].clone()),
                 Instr::LoadSlot(s) => {
                     self.rt.tick(1);
-                    let frame = self.frames.last().expect("in a frame");
-                    let v = match &frame.slots[*s as usize] {
-                        BSlot::Plain(v) => v.clone(),
-                        BSlot::Boxed(cell, _) => cell.borrow().clone(),
-                        BSlot::Empty => {
-                            return Err(ExecError::Internal(format!(
-                                "variable {} not found in any frame",
-                                f.slot_names[*s as usize]
-                            )))
-                        }
-                    };
-                    stack.push(check_poison(v)?);
+                    let v = self.slot_value(f, *s)?;
+                    stack.push(v);
                 }
                 Instr::StoreSlot(s) => {
-                    let v = pop(&mut stack);
-                    let frame = self.frames.last_mut().expect("in a frame");
-                    match &mut frame.slots[*s as usize] {
-                        BSlot::Plain(p) => *p = v,
-                        BSlot::Boxed(cell, _) => *cell.borrow_mut() = v,
-                        BSlot::Empty => {
-                            return Err(ExecError::Internal("write to undeclared variable".into()))
-                        }
-                    }
+                    let v = pop(stack);
+                    self.store_slot(*s, v)?;
                 }
                 Instr::Declare {
                     slot,
@@ -526,7 +622,7 @@ impl BVm {
                     heap,
                     size,
                 } => {
-                    let v = pop(&mut stack);
+                    let v = pop(stack);
                     let new_slot = if *boxed {
                         let obj = if *heap {
                             Some(self.new_obj(*size, Category::Other))
@@ -548,14 +644,14 @@ impl BVm {
                     let at = stack.len() - *n as usize;
                     stack[at..].reverse();
                 }
-                Instr::Neg => match pop(&mut stack) {
+                Instr::Neg => match pop(stack) {
                     Value::Int(v) => {
                         self.rt.tick(1);
                         stack.push(Value::Int(v.wrapping_neg()));
                     }
                     other => return Err(expected_int(&other)),
                 },
-                Instr::Not => match pop(&mut stack) {
+                Instr::Not => match pop(stack) {
                     Value::Bool(b) => {
                         self.rt.tick(1);
                         stack.push(Value::Bool(!b));
@@ -563,21 +659,21 @@ impl BVm {
                     other => return Err(expected_bool(&other)),
                 },
                 Instr::Bin(op) => {
-                    let r = pop(&mut stack);
-                    let l = pop(&mut stack);
+                    let r = pop(stack);
+                    let l = pop(stack);
                     self.rt.tick(1);
                     stack.push(binop_rt(&mut self.rt, *op, l, r)?);
                 }
                 Instr::BinRaw(op) => {
-                    let r = pop(&mut stack);
-                    let l = pop(&mut stack);
+                    let r = pop(stack);
+                    let l = pop(stack);
                     stack.push(binop_rt(&mut self.rt, *op, l, r)?);
                 }
                 Instr::AddrOfSlot(s) => {
                     self.rt.tick(1);
                     let frame = self.frames.last().expect("in a frame");
                     match &frame.slots[*s as usize] {
-                        BSlot::Boxed(cell, obj) => stack.push(Value::Ptr(PtrVal {
+                        BSlot::Boxed(cell, obj) => stack.push(Value::ptr(PtrVal {
                             cell: cell.clone(),
                             obj: *obj,
                         })),
@@ -594,21 +690,21 @@ impl BVm {
                 }
                 Instr::AllocBox { heap, size, site } => {
                     self.rt.tick(1);
-                    let v = pop(&mut stack);
+                    let v = pop(stack);
                     let obj = if *heap {
                         Some(self.new_obj_at(*size, Category::Other, Some(*site)))
                     } else {
                         self.rt.stack_alloc(Category::Other);
                         None
                     };
-                    stack.push(Value::Ptr(PtrVal {
+                    stack.push(Value::ptr(PtrVal {
                         cell: Rc::new(RefCell::new(v)),
                         obj,
                     }));
                 }
                 Instr::Deref => {
                     self.rt.tick(1);
-                    match pop(&mut stack) {
+                    match pop(stack) {
                         Value::Ptr(p) => {
                             self.shadow_access(p.obj, "pointer deref read");
                             let v = check_poison(p.cell.borrow().clone())?;
@@ -618,11 +714,11 @@ impl BVm {
                         _ => return Err(ExecError::Internal("deref of non-pointer".into())),
                     }
                 }
-                Instr::DerefSet => match pop(&mut stack) {
+                Instr::DerefSet => match pop(stack) {
                     Value::Ptr(p) => {
                         self.shadow_access(p.obj, "pointer deref write");
                         self.barrier_store(p.obj);
-                        let v = pop(&mut stack);
+                        let v = pop(stack);
                         *p.cell.borrow_mut() = v;
                     }
                     Value::Nil => return Err(ExecError::NilDeref),
@@ -630,7 +726,7 @@ impl BVm {
                 },
                 Instr::GetField { idx, through_ptr } => {
                     self.rt.tick(1);
-                    let fields = match (pop(&mut stack), through_ptr) {
+                    let fields = match (pop(stack), through_ptr) {
                         (Value::Struct(fields), false) => fields,
                         (Value::Ptr(p), true) => {
                             self.shadow_access(p.obj, "field read");
@@ -647,24 +743,24 @@ impl BVm {
                     };
                     stack.push(check_poison(fields[*idx as usize].clone())?);
                 }
-                Instr::StructSetField { idx } => match pop(&mut stack) {
+                Instr::StructSetField { idx } => match pop(stack) {
                     Value::Struct(mut fields) => {
-                        let v = pop(&mut stack);
-                        fields[*idx as usize] = v;
+                        let v = pop(stack);
+                        Rc::make_mut(&mut fields)[*idx as usize] = v;
                         stack.push(Value::Struct(fields));
                     }
                     Value::Nil => return Err(ExecError::NilDeref),
                     Value::Poison => return Err(ExecError::PoisonedRead),
                     _ => return Err(ExecError::Internal("field store on non-struct".into())),
                 },
-                Instr::FieldSetPtr { idx } => match pop(&mut stack) {
+                Instr::FieldSetPtr { idx } => match pop(stack) {
                     Value::Ptr(p) => {
                         self.shadow_access(p.obj, "field write");
                         self.barrier_store(p.obj);
-                        let v = pop(&mut stack);
+                        let v = pop(stack);
                         let mut target = p.cell.borrow_mut();
                         match &mut *target {
-                            Value::Struct(fields) => fields[*idx as usize] = v,
+                            Value::Struct(fields) => Rc::make_mut(fields)[*idx as usize] = v,
                             Value::Poison => return Err(ExecError::PoisonedRead),
                             _ => {
                                 return Err(ExecError::Internal("field store on non-struct".into()))
@@ -675,84 +771,40 @@ impl BVm {
                     Value::Poison => return Err(ExecError::PoisonedRead),
                     _ => return Err(ExecError::Internal("field store on non-struct".into())),
                 },
-                Instr::CheckIndexBase => match stack.last().expect("operand stack underflow") {
-                    Value::Slice(_) | Value::Map(_) => {}
-                    Value::Nil => return Err(ExecError::NilDeref),
-                    _ => return Err(ExecError::Internal("index of non-indexable".into())),
-                },
+                Instr::CheckIndexBase => {
+                    check_index_base(stack.last().expect("operand stack underflow"))?
+                }
                 Instr::IndexGet => {
                     self.rt.tick(1);
-                    let idx = pop(&mut stack);
-                    match pop(&mut stack) {
-                        Value::Slice(s) => {
-                            let Value::Int(i) = idx else {
-                                return Err(expected_int(&idx));
-                            };
-                            if i < 0 || i as usize >= s.len {
-                                return Err(ExecError::OutOfBounds {
-                                    index: i,
-                                    len: s.len,
-                                });
-                            }
-                            self.shadow_access(s.obj, "slice index read");
-                            let v = s.cells.borrow()[s.offset + i as usize].clone();
-                            stack.push(check_poison(v)?);
-                        }
-                        Value::Map(map) => {
-                            let key = idx
-                                .as_key()
-                                .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
-                            self.rt.tick(2);
-                            self.shadow_access_map(&map, "map lookup");
-                            let data = map.data.borrow();
-                            if data.poisoned {
-                                return Err(ExecError::PoisonedRead);
-                            }
-                            let v = match data.get(&key) {
-                                Some(v) => check_poison(v.clone())?,
-                                None => data.default.clone(),
-                            };
-                            drop(data);
-                            stack.push(v);
-                        }
-                        Value::Nil => return Err(ExecError::NilDeref),
-                        _ => return Err(ExecError::Internal("index of non-indexable".into())),
-                    }
+                    let idx = pop(stack);
+                    let base = pop(stack);
+                    let v = self.index_get(base, idx, None)?;
+                    stack.push(v);
+                }
+                Instr::IndexGetIC(ic) => {
+                    self.rt.tick(1);
+                    let idx = pop(stack);
+                    let base = pop(stack);
+                    let v = self.index_get(base, idx, Some(*ic))?;
+                    stack.push(v);
                 }
                 Instr::IndexSet => {
-                    let idx = pop(&mut stack);
-                    match pop(&mut stack) {
-                        Value::Slice(s) => {
-                            let v = pop(&mut stack);
-                            let Value::Int(i) = idx else {
-                                return Err(expected_int(&idx));
-                            };
-                            if i < 0 || i as usize >= s.len {
-                                return Err(ExecError::OutOfBounds {
-                                    index: i,
-                                    len: s.len,
-                                });
-                            }
-                            self.shadow_access(s.obj, "slice index write");
-                            self.barrier_store(s.obj);
-                            s.cells.borrow_mut()[s.offset + i as usize] = v;
-                        }
-                        Value::Map(map) => {
-                            let v = pop(&mut stack);
-                            let key = idx
-                                .as_key()
-                                .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
-                            self.map_insert(&map, key, v)?;
-                        }
-                        Value::Nil => return Err(ExecError::NilDeref),
-                        _ => return Err(ExecError::Internal("store into non-indexable".into())),
-                    }
+                    let idx = pop(stack);
+                    let base = pop(stack);
+                    let v = pop(stack);
+                    self.index_set(base, idx, v, None)?;
+                }
+                Instr::IndexSetIC(ic) => {
+                    let idx = pop(stack);
+                    let base = pop(stack);
+                    let v = pop(stack);
+                    self.index_set(base, idx, v, Some(*ic))?;
                 }
                 Instr::ReSlice { has_hi } => {
                     self.rt.tick(1);
-                    let hi_v = if *has_hi { Some(pop(&mut stack)) } else { None };
-                    let lo_v = pop(&mut stack);
-                    let base = pop(&mut stack);
+                    let hi_v = if *has_hi { Some(pop(stack)) } else { None };
+                    let lo_v = pop(stack);
+                    let base = pop(stack);
                     let Value::Int(lo) = lo_v else {
                         return Err(expected_int(&lo_v));
                     };
@@ -770,7 +822,7 @@ impl BVm {
                                     len: s.cap(),
                                 });
                             }
-                            stack.push(Value::Slice(SliceVal {
+                            stack.push(Value::slice(SliceVal {
                                 cells: s.cells.clone(),
                                 obj: s.obj,
                                 offset: s.offset + lo as usize,
@@ -797,12 +849,8 @@ impl BVm {
                     zero,
                 } => {
                     self.rt.tick(1);
-                    let cap_v = if *has_cap {
-                        Some(pop(&mut stack))
-                    } else {
-                        None
-                    };
-                    let len_v = pop(&mut stack);
+                    let cap_v = if *has_cap { Some(pop(stack)) } else { None };
+                    let len_v = pop(stack);
                     let Value::Int(len_raw) = len_v else {
                         return Err(expected_int(&len_v));
                     };
@@ -824,7 +872,7 @@ impl BVm {
                         None
                     };
                     let zero = self.consts[*zero as usize].clone();
-                    stack.push(Value::Slice(SliceVal {
+                    stack.push(Value::slice(SliceVal {
                         cells: Rc::new(RefCell::new(vec![zero; cap])),
                         obj,
                         offset: 0,
@@ -849,10 +897,10 @@ impl BVm {
                         self.rt.stack_alloc(Category::Map);
                         None
                     };
-                    stack.push(Value::Map(MapVal {
+                    stack.push(Value::map(MapVal {
                         data: Rc::new(RefCell::new(MapData {
                             entries: Vec::new(),
-                            index: HashMap::new(),
+                            index: FxHashMap::default(),
                             buckets_obj: None,
                             bucket_cap: 8,
                             default: self.consts[*default as usize].clone(),
@@ -876,37 +924,31 @@ impl BVm {
                         self.rt.stack_alloc(Category::Other);
                         None
                     };
-                    stack.push(Value::Ptr(PtrVal {
+                    stack.push(Value::ptr(PtrVal {
                         cell: Rc::new(RefCell::new(self.consts[*zero as usize].clone())),
                         obj,
                     }));
                 }
                 Instr::Append { elem_size, site } => {
                     self.rt.tick(1);
-                    let item = pop(&mut stack);
-                    let sv = pop(&mut stack);
+                    let item = pop(stack);
+                    let sv = pop(stack);
                     let out = self.append(sv, item, *elem_size, *site)?;
                     stack.push(out);
                 }
                 Instr::MakeStruct(n) => {
                     self.rt.tick(1);
                     let fields = stack.split_off(stack.len() - *n as usize);
-                    stack.push(Value::Struct(fields));
+                    stack.push(Value::struct_of(fields));
                 }
                 Instr::Len => {
                     self.rt.tick(1);
-                    let v = match pop(&mut stack) {
-                        Value::Slice(s) => s.len as i64,
-                        Value::Map(map) => map.data.borrow().len() as i64,
-                        Value::Str(s) => s.len() as i64,
-                        Value::Nil => 0,
-                        _ => return Err(ExecError::Internal("len of bad value".into())),
-                    };
-                    stack.push(Value::Int(v));
+                    let v = len_of(pop(stack))?;
+                    stack.push(v);
                 }
                 Instr::Cap => {
                     self.rt.tick(1);
-                    let v = match pop(&mut stack) {
+                    let v = match pop(stack) {
                         Value::Slice(s) => s.cap() as i64,
                         Value::Nil => 0,
                         _ => return Err(ExecError::Internal("cap of bad value".into())),
@@ -915,8 +957,8 @@ impl BVm {
                 }
                 Instr::MapDelete => {
                     self.rt.tick(1);
-                    let kv = pop(&mut stack);
-                    if let Value::Map(map) = pop(&mut stack) {
+                    let kv = pop(stack);
+                    if let Value::Map(map) = pop(stack) {
                         let key = kv
                             .as_key()
                             .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
@@ -928,7 +970,7 @@ impl BVm {
                 }
                 Instr::Panic => {
                     self.rt.tick(1);
-                    let v = pop(&mut stack);
+                    let v = pop(stack);
                     return Err(ExecError::Panic(v.display()));
                 }
                 Instr::Print(n) => {
@@ -939,7 +981,7 @@ impl BVm {
                 }
                 Instr::Itoa => {
                     self.rt.tick(1);
-                    match pop(&mut stack) {
+                    match pop(stack) {
                         Value::Int(v) => {
                             stack.push(Value::Str(Rc::from(v.to_string().as_str())));
                         }
@@ -947,7 +989,7 @@ impl BVm {
                     }
                 }
                 Instr::Tcfree { follows_free } => {
-                    let v = pop(&mut stack);
+                    let v = pop(stack);
                     let batched = self.cfg.batch_frees && *follows_free;
                     self.exec_tcfree(v, batched)?;
                 }
@@ -956,6 +998,173 @@ impl BVm {
                 }
                 Instr::TrapInternal(msg) => {
                     return Err(ExecError::Internal(msg.to_string()));
+                }
+                // ---- optimizer-tier instructions ----
+                //
+                // Each fused handler charges its summed constituent
+                // ticks upfront, then runs the constituent logic in the
+                // original order. Coalescing is invisible: the clock
+                // charge is an exact add and no observable event can
+                // occur between the constituents' charges.
+                Instr::ConstTicked { c, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    stack.push(self.consts[*c as usize].clone());
+                }
+                Instr::LoadLoadBin { a, b, op, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.slot_value(f, *b)?;
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::LoadConstBin { a, c, op, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.consts[*c as usize].clone();
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::LoadLoadBinStore {
+                    a,
+                    b,
+                    op,
+                    dst,
+                    ticks,
+                } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.slot_value(f, *b)?;
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    self.store_slot(*dst, v)?;
+                }
+                Instr::LoadConstBinStore {
+                    a,
+                    c,
+                    op,
+                    dst,
+                    ticks,
+                } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.consts[*c as usize].clone();
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    self.store_slot(*dst, v)?;
+                }
+                Instr::LoadLoadBinJump { a, b, op, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.slot_value(f, *b)?;
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::LoadConstBinJump { a, c, op, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = self.consts[*c as usize].clone();
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::LoadJumpIfFalse { s, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let v = self.slot_value(f, *s)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::BinJumpIfFalse { op, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let r = pop(stack);
+                    let l = pop(stack);
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::LoadLoadIndexGet {
+                    base,
+                    idx,
+                    ic,
+                    ticks,
+                } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let b = self.slot_value(f, *base)?;
+                    check_index_base(&b)?;
+                    let i = self.slot_value(f, *idx)?;
+                    let v = self.index_get(b, i, Some(*ic))?;
+                    stack.push(v);
+                }
+                Instr::LoadConstIndexGet { base, c, ic, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let b = self.slot_value(f, *base)?;
+                    check_index_base(&b)?;
+                    let i = self.consts[*c as usize].clone();
+                    let v = self.index_get(b, i, Some(*ic))?;
+                    stack.push(v);
+                }
+                Instr::LoadLoadIndexSet {
+                    base,
+                    idx,
+                    ic,
+                    ticks,
+                } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let b = self.slot_value(f, *base)?;
+                    check_index_base(&b)?;
+                    let i = self.slot_value(f, *idx)?;
+                    let v = pop(stack);
+                    self.index_set(b, i, v, Some(*ic))?;
+                }
+                Instr::LoadConstIndexSet { base, c, ic, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let b = self.slot_value(f, *base)?;
+                    check_index_base(&b)?;
+                    let i = self.consts[*c as usize].clone();
+                    let v = pop(stack);
+                    self.index_set(b, i, v, Some(*ic))?;
+                }
+                Instr::LoadLen { s, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let v = len_of(self.slot_value(f, *s)?)?;
+                    stack.push(v);
+                }
+                Instr::LoadLenStore { s, dst, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let v = len_of(self.slot_value(f, *s)?)?;
+                    self.store_slot(*dst, v)?;
+                }
+                Instr::LoadLoadLenBinJump { a, s, op, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let l = self.slot_value(f, *a)?;
+                    let r = len_of(self.slot_value(f, *s)?)?;
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::BinSlot { s, op, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let r = self.slot_value(f, *s)?;
+                    let l = pop(stack);
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::BinConst { c, op, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let r = self.consts[*c as usize].clone();
+                    let l = pop(stack);
+                    stack.push(binop_rt(&mut self.rt, *op, l, r)?);
+                }
+                Instr::BinConstStore { c, op, dst, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let r = self.consts[*c as usize].clone();
+                    let l = pop(stack);
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    self.store_slot(*dst, v)?;
+                }
+                Instr::BinConstJump { c, op, t, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let r = self.consts[*c as usize].clone();
+                    let l = pop(stack);
+                    let v = binop_rt(&mut self.rt, *op, l, r)?;
+                    branch_if_false(v, &mut pc, *t)?;
+                }
+                Instr::LoadLoad { a, b, ticks } => {
+                    self.rt.tick(u64::from(*ticks));
+                    let va = self.slot_value(f, *a)?;
+                    stack.push(va);
+                    let vb = self.slot_value(f, *b)?;
+                    stack.push(vb);
                 }
             }
         }
@@ -1025,7 +1234,7 @@ impl BVm {
                 let obj = self.new_obj_at(cap as u64 * elem_size, Category::Slice, Some(site));
                 let mut cells = vec![item];
                 cells.resize(cap, Value::Int(0));
-                Ok(Value::Slice(SliceVal {
+                Ok(Value::slice(SliceVal {
                     cells: Rc::new(RefCell::new(cells)),
                     obj: Some(obj),
                     offset: 0,
@@ -1038,7 +1247,7 @@ impl BVm {
                 if s.len < s.cap() {
                     let at = s.offset + s.len;
                     s.cells.borrow_mut()[at] = item;
-                    s.len += 1;
+                    Rc::make_mut(&mut s).len += 1;
                     Ok(Value::Slice(s))
                 } else {
                     let new_cap = (s.cap() * 2).max(8);
@@ -1048,7 +1257,7 @@ impl BVm {
                         s.cells.borrow()[s.offset..s.offset + s.len].to_vec();
                     cells.push(item);
                     cells.resize(new_cap, Value::Int(0));
-                    Ok(Value::Slice(SliceVal {
+                    Ok(Value::slice(SliceVal {
                         cells: Rc::new(RefCell::new(cells)),
                         obj: Some(obj),
                         offset: 0,
@@ -1061,10 +1270,175 @@ impl BVm {
         }
     }
 
-    fn map_insert(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
+    /// The `LoadSlot` body (sans tick), shared with the fused handlers.
+    /// The hot
+    /// path (a plain, unpoisoned slot) must stay small enough to inline
+    /// into the dispatch loop; the error constructions are kept out of
+    /// line behind `#[cold]`. `inline(always)` because LLVM refuses the
+    /// hint at this size yet the call sits on every fused load's hot
+    /// path (a measured win; see DESIGN.md §12).
+    #[inline(always)]
+    fn slot_value(&self, f: &BFunc, s: u32) -> Result<Value> {
+        #[cold]
+        fn undeclared(f: &BFunc, s: u32) -> ExecError {
+            ExecError::Internal(format!(
+                "variable {} not found in any frame",
+                f.slot_names[s as usize]
+            ))
+        }
+        let frame = self.frames.last().expect("in a frame");
+        let v = match &frame.slots[s as usize] {
+            BSlot::Plain(v) => v.clone(),
+            BSlot::Boxed(cell, _) => cell.borrow().clone(),
+            BSlot::Empty => return Err(undeclared(f, s)),
+        };
+        check_poison(v)
+    }
+
+    /// The `StoreSlot` body, shared with the fused handlers.
+    #[inline]
+    fn store_slot(&mut self, s: u32, v: Value) -> Result<()> {
+        let frame = self.frames.last_mut().expect("in a frame");
+        match &mut frame.slots[s as usize] {
+            BSlot::Plain(p) => *p = v,
+            BSlot::Boxed(cell, _) => *cell.borrow_mut() = v,
+            BSlot::Empty => Err(ExecError::Internal("write to undeclared variable".into()))?,
+        }
+        Ok(())
+    }
+
+    /// The `IndexGet` body, shared by the plain, IC, and fused handlers.
+    /// The caller has already charged the instruction's own tick; map
+    /// lookups charge their data-dependent ticks here, identically on
+    /// hit and miss.
+    #[inline]
+    fn index_get(&mut self, base: Value, idx: Value, ic: Option<u32>) -> Result<Value> {
+        match base {
+            Value::Slice(s) => {
+                let Value::Int(i) = idx else {
+                    return Err(expected_int(&idx));
+                };
+                if i < 0 || i as usize >= s.len {
+                    return Err(ExecError::OutOfBounds {
+                        index: i,
+                        len: s.len,
+                    });
+                }
+                self.shadow_access(s.obj, "slice index read");
+                let v = s.cells.borrow()[s.offset + i as usize].clone();
+                check_poison(v)
+            }
+            Value::Map(map) => {
+                let key = idx
+                    .as_key()
+                    .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
+                self.rt.tick(2);
+                self.shadow_access_map(&map, "map lookup");
+                let data = map.data.borrow();
+                if data.poisoned {
+                    return Err(ExecError::PoisonedRead);
+                }
+                if let Some(slot) = ic {
+                    let tag = Rc::as_ptr(&map.data) as usize;
+                    let e = self.ics[slot as usize];
+                    if e.tag == tag && data.entries.get(e.idx).is_some_and(|(k, _)| *k == key) {
+                        // Hit: the cached entry index resolves this key
+                        // without hashing. A stale tag or moved entry
+                        // fails the check and falls through to a miss.
+                        self.ic_hits += 1;
+                        return check_poison(data.entries[e.idx].1.clone());
+                    }
+                    self.ic_misses += 1;
+                    return match data.index.get(&key) {
+                        Some(&i) => {
+                            self.ics[slot as usize] = IcEntry { tag, idx: i };
+                            check_poison(data.entries[i].1.clone())
+                        }
+                        None => {
+                            self.ics[slot as usize] = IC_EMPTY;
+                            Ok(data.default.clone())
+                        }
+                    };
+                }
+                match data.get(&key) {
+                    Some(v) => check_poison(v.clone()),
+                    None => Ok(data.default.clone()),
+                }
+            }
+            Value::Nil => Err(ExecError::NilDeref),
+            _ => Err(ExecError::Internal("index of non-indexable".into())),
+        }
+    }
+
+    /// The `IndexSet` body, shared by the plain, IC, and fused handlers.
+    #[inline]
+    fn index_set(&mut self, base: Value, idx: Value, v: Value, ic: Option<u32>) -> Result<()> {
+        match base {
+            Value::Slice(s) => {
+                let Value::Int(i) = idx else {
+                    return Err(expected_int(&idx));
+                };
+                if i < 0 || i as usize >= s.len {
+                    return Err(ExecError::OutOfBounds {
+                        index: i,
+                        len: s.len,
+                    });
+                }
+                self.shadow_access(s.obj, "slice index write");
+                self.barrier_store(s.obj);
+                s.cells.borrow_mut()[s.offset + i as usize] = v;
+                Ok(())
+            }
+            Value::Map(map) => {
+                let key = idx
+                    .as_key()
+                    .ok_or_else(|| ExecError::Internal("bad map key".into()))?;
+                self.map_insert(&map, key, v, ic)
+            }
+            Value::Nil => Err(ExecError::NilDeref),
+            _ => Err(ExecError::Internal("store into non-indexable".into())),
+        }
+    }
+
+    #[inline]
+    fn map_insert(&mut self, m: &MapVal, key: Key, value: Value, ic: Option<u32>) -> Result<()> {
         self.rt.tick(3);
         self.shadow_access_map(m, "map insert");
         self.barrier_store_map(m);
+        if let Some(slot) = ic {
+            let tag = Rc::as_ptr(&m.data) as usize;
+            let e = self.ics[slot as usize];
+            {
+                let mut data = m.data.borrow_mut();
+                if data.poisoned {
+                    return Err(ExecError::PoisonedRead);
+                }
+                if e.tag == tag && data.entries.get(e.idx).is_some_and(|(k, _)| *k == key) {
+                    // Hit: updating an existing entry in place — no
+                    // growth check needed, exactly what the slow path's
+                    // `insert` would do for a present key.
+                    self.ic_hits += 1;
+                    data.entries[e.idx].1 = value;
+                    return Ok(());
+                }
+            }
+            self.ic_misses += 1;
+            self.map_insert_slow(m, key.clone(), value)?;
+            let idx = m
+                .data
+                .borrow()
+                .index
+                .get(&key)
+                .copied()
+                .unwrap_or(usize::MAX);
+            self.ics[slot as usize] = IcEntry { tag, idx };
+            return Ok(());
+        }
+        self.map_insert_slow(m, key, value)
+    }
+
+    /// The growth-checking insert; ticks/shadow/barrier are the caller's.
+    fn map_insert_slow(&mut self, m: &MapVal, key: Key, value: Value) -> Result<()> {
         let (is_new, needs_growth) = {
             let data = m.data.borrow();
             if data.poisoned {
@@ -1107,6 +1481,7 @@ impl BVm {
     }
 }
 
+#[inline]
 fn pop(stack: &mut Vec<Value>) -> Value {
     stack.pop().expect("operand stack underflow")
 }

@@ -40,6 +40,12 @@ pub struct Module {
     /// values; the engine materializes them into per-run [`Value`]s that
     /// are cloned onto the operand stack.
     pub consts: Vec<Const>,
+    /// Number of inline-cache slots referenced by the instruction
+    /// stream. Zero straight out of lowering; the optimizer tier
+    /// ([`super::optimize`]) assigns a slot to every cache-carrying
+    /// instruction it installs, and the engine sizes its per-run cache
+    /// vector from this.
+    pub ic_slots: u32,
 }
 
 impl Module {
@@ -86,7 +92,7 @@ impl Const {
             Const::Bool(b) => Value::Bool(*b),
             Const::Str(s) => Value::Str(std::rc::Rc::from(&**s)),
             Const::Nil => Value::Nil,
-            Const::Struct(fields) => Value::Struct(fields.iter().map(Const::to_value).collect()),
+            Const::Struct(fields) => Value::struct_of(fields.iter().map(Const::to_value).collect()),
         }
     }
 }
@@ -116,7 +122,7 @@ pub struct BFunc {
 ///
 /// Stack effects are written `[before] -> [after]` with the top of the
 /// stack on the right.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     // ---- control ----
     /// Statement-boundary safepoint: count a step, charge one tick, and
@@ -356,4 +362,303 @@ pub enum Instr {
     /// Fail with [`ExecError::Internal`](crate::ExecError) when
     /// executed.
     TrapInternal(Box<str>),
+
+    // ---- optimizer tier ----
+    //
+    // Everything below is installed by `bytecode::opt`, never emitted by
+    // lowering, so the baseline stream stays available under `--opt
+    // off`. Each fused instruction charges `ticks` — the summed static
+    // charges of its constituents — up front, then runs the constituent
+    // handlers in order; per-statement tick totals (and therefore GC
+    // pacing, safepoints, and every metric) are unchanged, because the
+    // clock charge is an exact add and no observable runtime event can
+    // occur between the coalesced charges.
+    /// `[] -> [const]` — push a constant charging `ticks`: a folded
+    /// constant expression carrying the summed charge of the
+    /// instructions it replaced.
+    ConstTicked {
+        /// Constant-pool index.
+        c: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [a op b]` — fused `LoadSlot a; LoadSlot b; Bin/BinRaw op`.
+    LoadLoadBin {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// The operator.
+        op: BinOp,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [a op c]` — fused `LoadSlot a; Const c; Bin/BinRaw op`.
+    LoadConstBin {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` — fused `LoadSlot a; LoadSlot b; Bin/BinRaw;
+    /// StoreSlot dst` (e.g. `x = a + b`).
+    LoadLoadBinStore {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// The operator.
+        op: BinOp,
+        /// Destination slot.
+        dst: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` — fused `LoadSlot a; Const c; Bin/BinRaw; StoreSlot
+    /// dst` (compound assignments like `i += 1` collapse 4 → 1).
+    LoadConstBinStore {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Destination slot.
+        dst: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` or jump — fused `LoadSlot a; LoadSlot b; Bin;
+    /// JumpIfFalse t` (loop conditions like `i < n` collapse 4 → 1).
+    LoadLoadBinJump {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// The operator.
+        op: BinOp,
+        /// Branch target when the result is false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` or jump — fused `LoadSlot a; Const c; Bin;
+    /// JumpIfFalse t`.
+    LoadConstBinJump {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Branch target when the result is false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` or jump — fused `LoadSlot s; JumpIfFalse t`.
+    LoadJumpIfFalse {
+        /// Condition slot.
+        s: u32,
+        /// Branch target when false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[l, r] -> []` or jump — fused `Bin op; JumpIfFalse t`.
+    BinJumpIfFalse {
+        /// The operator.
+        op: BinOp,
+        /// Branch target when false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [v]` — fused `LoadSlot base; CheckIndexBase; LoadSlot
+    /// idx; IndexGet`, with an inline-cache slot for map bases.
+    LoadLoadIndexGet {
+        /// Slot holding the slice/map base.
+        base: u32,
+        /// Slot holding the index/key.
+        idx: u32,
+        /// Inline-cache slot.
+        ic: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [v]` — fused `LoadSlot base; CheckIndexBase; Const c;
+    /// IndexGet`, with an inline-cache slot for map bases.
+    LoadConstIndexGet {
+        /// Slot holding the slice/map base.
+        base: u32,
+        /// Constant-pool index of the index/key.
+        c: u32,
+        /// Inline-cache slot.
+        ic: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[v] -> []` — fused `LoadSlot base; CheckIndexBase; LoadSlot
+    /// idx; IndexSet`, with an inline-cache slot for map bases.
+    LoadLoadIndexSet {
+        /// Slot holding the slice/map base.
+        base: u32,
+        /// Slot holding the index/key.
+        idx: u32,
+        /// Inline-cache slot.
+        ic: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[v] -> []` — fused `LoadSlot base; CheckIndexBase; Const c;
+    /// IndexSet`, with an inline-cache slot for map bases.
+    LoadConstIndexSet {
+        /// Slot holding the slice/map base.
+        base: u32,
+        /// Constant-pool index of the index/key.
+        c: u32,
+        /// Inline-cache slot.
+        ic: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [len]` — fused `LoadSlot s; Len` (e.g. `n := len(s)`).
+    LoadLen {
+        /// Slot holding the slice/map/string.
+        s: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` — fused `LoadSlot s; Len; StoreSlot dst`.
+    LoadLenStore {
+        /// Slot holding the slice/map/string.
+        s: u32,
+        /// Destination slot.
+        dst: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> []` or jump — fused `LoadSlot a; LoadSlot s; Len; Bin;
+    /// JumpIfFalse t`: the canonical loop header `for i < len(s)`
+    /// collapses 5 → 1.
+    LoadLoadLenBinJump {
+        /// Left operand slot (the induction variable).
+        a: u32,
+        /// Slot holding the slice/map/string whose length is compared.
+        s: u32,
+        /// The comparison operator.
+        op: BinOp,
+        /// Branch target when the result is false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[l] -> [l op s]` — fused `LoadSlot s; Bin/BinRaw op`: the right
+    /// operand is a slot, the left comes from the stack (a complex
+    /// subexpression already evaluated).
+    BinSlot {
+        /// Right operand slot.
+        s: u32,
+        /// The operator.
+        op: BinOp,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[l] -> [l op c]` — fused `Const c; Bin/BinRaw op`: the right
+    /// operand is a constant, the left comes from the stack.
+    BinConst {
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[l] -> []` — fused `Const c; Bin/BinRaw op; StoreSlot dst`.
+    BinConstStore {
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Destination slot.
+        dst: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[l] -> []` or jump — fused `Const c; Bin op; JumpIfFalse t`
+    /// (conditions like `x % 2 == 0` finish in one dispatch).
+    BinConstJump {
+        /// Right operand constant-pool index.
+        c: u32,
+        /// The operator.
+        op: BinOp,
+        /// Branch target when the result is false.
+        t: usize,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[] -> [a, b]` — fused `LoadSlot a; LoadSlot b`: adjacent slot
+    /// reads feeding an unfuseable consumer (call arguments, struct
+    /// literals, prints) still coalesce their dispatch.
+    LoadLoad {
+        /// First slot pushed.
+        a: u32,
+        /// Second slot pushed.
+        b: u32,
+        /// Coalesced tick charge.
+        ticks: u32,
+    },
+    /// `[base, idx] -> [v]` — [`Instr::IndexGet`] with a monomorphic
+    /// inline cache: the cache slot remembers the last map identity and
+    /// entry index, skipping the hash lookup when the same key hits the
+    /// same map (validated against the entry, so a stale cache can only
+    /// miss, never misread).
+    IndexGetIC(u32),
+    /// `[v, base, idx] -> []` — [`Instr::IndexSet`] with a monomorphic
+    /// inline cache (fast path: in-place update of an existing entry).
+    IndexSetIC(u32),
+}
+
+impl Instr {
+    /// The instruction's jump-target operand, if it has one. The
+    /// optimizer uses this to find fusion barriers and to rewrite
+    /// targets after structural passes.
+    pub fn jump_target(&self) -> Option<usize> {
+        match self {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t)
+            | Instr::AndJump(t)
+            | Instr::OrJump(t)
+            | Instr::CaseJump(t)
+            | Instr::LoadLoadBinJump { t, .. }
+            | Instr::LoadConstBinJump { t, .. }
+            | Instr::LoadJumpIfFalse { t, .. }
+            | Instr::BinJumpIfFalse { t, .. }
+            | Instr::LoadLoadLenBinJump { t, .. }
+            | Instr::BinConstJump { t, .. } => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the jump-target operand.
+    pub fn jump_target_mut(&mut self) -> Option<&mut usize> {
+        match self {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t)
+            | Instr::AndJump(t)
+            | Instr::OrJump(t)
+            | Instr::CaseJump(t)
+            | Instr::LoadLoadBinJump { t, .. }
+            | Instr::LoadConstBinJump { t, .. }
+            | Instr::LoadJumpIfFalse { t, .. }
+            | Instr::BinJumpIfFalse { t, .. }
+            | Instr::LoadLoadLenBinJump { t, .. }
+            | Instr::BinConstJump { t, .. } => Some(t),
+            _ => None,
+        }
+    }
 }

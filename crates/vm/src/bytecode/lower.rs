@@ -41,6 +41,7 @@ pub fn lower(program: &Program, res: &Resolution, types: &TypeInfo, analysis: &A
         funcs,
         main,
         consts: consts.pool,
+        ic_slots: 0,
     }
 }
 
@@ -113,11 +114,13 @@ fn lower_func(
         slot_of,
         consts,
         code: Vec::new(),
+        patches: Vec::new(),
         break_stack: Vec::new(),
         continue_stack: Vec::new(),
     };
     lo.lower_block(&func.body);
     lo.code.push(Instr::Ret);
+    lo.apply_patches();
 
     let params = res
         .params_of(func.id)
@@ -167,6 +170,11 @@ struct FnLowerer<'a> {
     slot_of: HashMap<VarId, u32>,
     consts: &'a mut ConstPool,
     code: Vec<Instr>,
+    /// The back-patch table: every forward jump is emitted with a
+    /// `usize::MAX` placeholder and recorded here with its resolved
+    /// target; [`Self::apply_patches`] writes them all in one pass at
+    /// the end of the function instead of re-touching `code` per patch.
+    patches: Vec<(usize, usize)>,
     /// Per innermost breakable construct (loop or switch): indices of
     /// placeholder jumps to patch to the construct's end.
     break_stack: Vec<Vec<usize>>,
@@ -185,15 +193,22 @@ impl<'a> FnLowerer<'a> {
         self.code.len()
     }
 
+    /// Records a jump patch; applied in bulk by [`Self::apply_patches`].
     fn patch(&mut self, at: usize, target: usize) {
-        match &mut self.code[at] {
-            Instr::Jump(t)
-            | Instr::JumpIfFalse(t)
-            | Instr::AndJump(t)
-            | Instr::OrJump(t)
-            | Instr::CaseJump(t) => *t = target,
-            other => unreachable!("patching non-jump {other:?}"),
+        self.patches.push((at, target));
+    }
+
+    /// Applies the accumulated back-patch table. A `break`/`continue`
+    /// placeholder that was rewritten to `Ret` (stray outside any loop)
+    /// never reaches here, so every patched instruction must be a jump.
+    fn apply_patches(&mut self) {
+        for &(at, target) in &self.patches {
+            match self.code[at].jump_target_mut() {
+                Some(t) => *t = target,
+                None => unreachable!("patching non-jump {:?}", self.code[at]),
+            }
         }
+        self.patches.clear();
     }
 
     fn slot(&self, var: VarId) -> u32 {

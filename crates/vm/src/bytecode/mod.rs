@@ -11,10 +11,12 @@
 mod exec;
 mod ir;
 mod lower;
+mod opt;
 
 pub use exec::run_module;
 pub use ir::{BFunc, Const, Instr, Module};
 pub use lower::lower;
+pub use opt::{optimize, OptStats};
 
 use minigo_escape::Analysis;
 use minigo_syntax::{Program, Resolution, TypeInfo};

@@ -1,0 +1,103 @@
+//! A fast, deterministic hasher for the VM's internal tables.
+//!
+//! `SipHash` (std's default) dominates profiles of map-heavy workloads;
+//! the VM's tables never face adversarial keys, so the firefox-style
+//! multiply-rotate hash is a safe 5-10x cheaper drop-in. Determinism
+//! matters more than speed here: the hasher is unseeded, so table
+//! behaviour is identical across runs and processes.
+//!
+//! Observable-safety note: nothing the VM exposes depends on hash
+//! *iteration* order — `MapData` keeps entry order in its `entries`
+//! vec, and every cost the runtime sums over a hash table commutes
+//! (DESIGN.md §11) — so swapping the hash function cannot change any
+//! metric, trace, or output. The differential and golden suites pin
+//! this.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-rotate hasher (the rustc/firefox "fx" function):
+/// `h = (rotl(h, 5) ^ word) * K` per 8-byte word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |s: &str| {
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash("alloc-site"), hash("alloc-site"));
+        assert_ne!(hash("a"), hash("b"));
+    }
+
+    #[test]
+    fn maps_behave_like_std() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get("k42"), Some(&42));
+        assert_eq!(m.remove("k42"), Some(42));
+        assert_eq!(m.get("k42"), None);
+    }
+}

@@ -102,6 +102,18 @@ pub struct RunOutcome {
     /// Which collection backend ran
     /// ([`minigo_runtime::RuntimeConfig::collector`]).
     pub collector: minigo_runtime::CollectorKind,
+    /// Inline-cache hits, when the bytecode engine ran an optimized
+    /// module (always 0 on the tree-walk and on unoptimized streams).
+    /// Carried out-of-band like `violations`: the caches cannot change
+    /// any other field.
+    pub ic_hits: u64,
+    /// Inline-cache misses (see `ic_hits`).
+    pub ic_misses: u64,
+    /// Optimizer-tier rewrite statistics for the module this run
+    /// executed. The VM itself leaves this `None`; the driver that
+    /// selected an optimized stream fills it in (so it is `None` on the
+    /// tree-walk and at `--opt off`).
+    pub opt: Option<crate::bytecode::OptStats>,
 }
 
 /// The id type used for profile attribution (an expression id).
@@ -161,6 +173,9 @@ pub fn run(
         violations,
         trace,
         collector: vm.rt.collector_kind(),
+        ic_hits: 0,
+        ic_misses: 0,
+        opt: None,
     })
 }
 
@@ -1034,7 +1049,7 @@ impl<'p> Vm<'p> {
                                 len: s.cap(),
                             });
                         }
-                        Ok(Value::Slice(SliceVal {
+                        Ok(Value::slice(SliceVal {
                             cells: s.cells.clone(),
                             obj: s.obj,
                             offset: s.offset + lo_v as usize,
@@ -1068,7 +1083,7 @@ impl<'p> Vm<'p> {
                 }
                 self.rt.tick(1);
                 let _ = name;
-                Ok(Value::Struct(values))
+                Ok(Value::struct_of(values))
             }
         }
     }
@@ -1084,7 +1099,7 @@ impl<'p> Vm<'p> {
                 for frame in self.frames.iter().rev() {
                     if let Some(slot) = frame.slots.get(&var) {
                         return match slot {
-                            Slot::Boxed(cell, obj) => Ok(Value::Ptr(PtrVal {
+                            Slot::Boxed(cell, obj) => Ok(Value::ptr(PtrVal {
                                 cell: cell.clone(),
                                 obj: *obj,
                             })),
@@ -1112,7 +1127,7 @@ impl<'p> Vm<'p> {
                     self.rt.stack_alloc(Category::Other);
                     None
                 };
-                Ok(Value::Ptr(PtrVal {
+                Ok(Value::ptr(PtrVal {
                     cell: Rc::new(RefCell::new(v)),
                     obj,
                 }))
@@ -1176,7 +1191,7 @@ impl<'p> Vm<'p> {
                     self.rt.stack_alloc(Category::Other);
                     None
                 };
-                Ok(Value::Ptr(PtrVal {
+                Ok(Value::ptr(PtrVal {
                     cell: Rc::new(RefCell::new(zero)),
                     obj,
                 }))
@@ -1273,7 +1288,7 @@ impl<'p> Vm<'p> {
             self.rt.stack_alloc(Category::Slice);
             None
         };
-        Ok(Value::Slice(SliceVal {
+        Ok(Value::slice(SliceVal {
             cells: Rc::new(RefCell::new(vec![zero; cap])),
             obj,
             offset: 0,
@@ -1290,10 +1305,10 @@ impl<'p> Vm<'p> {
             self.rt.stack_alloc(Category::Map);
             None
         };
-        Ok(Value::Map(MapVal {
+        Ok(Value::map(MapVal {
             data: Rc::new(RefCell::new(MapData {
                 entries: Vec::new(),
-                index: HashMap::new(),
+                index: crate::fxhash::FxHashMap::default(),
                 buckets_obj: None,
                 bucket_cap: 8,
                 default,
@@ -1321,7 +1336,7 @@ impl<'p> Vm<'p> {
                 let obj = self.new_obj_at(cap as u64 * elem_size, Category::Slice, Some(site));
                 let mut cells = vec![item];
                 cells.resize(cap, Value::Int(0));
-                Ok(Value::Slice(SliceVal {
+                Ok(Value::slice(SliceVal {
                     cells: Rc::new(RefCell::new(cells)),
                     obj: Some(obj),
                     offset: 0,
@@ -1334,7 +1349,7 @@ impl<'p> Vm<'p> {
                 if s.len < s.cap() {
                     let at = s.offset + s.len;
                     s.cells.borrow_mut()[at] = item;
-                    s.len += 1;
+                    Rc::make_mut(&mut s).len += 1;
                     Ok(Value::Slice(s))
                 } else {
                     // Grow: a fresh heap array; the old one is left to GC
@@ -1346,7 +1361,7 @@ impl<'p> Vm<'p> {
                         s.cells.borrow()[s.offset..s.offset + s.len].to_vec();
                     cells.push(item);
                     cells.resize(new_cap, Value::Int(0));
-                    Ok(Value::Slice(SliceVal {
+                    Ok(Value::slice(SliceVal {
                         cells: Rc::new(RefCell::new(cells)),
                         obj: Some(obj),
                         offset: 0,
@@ -1447,7 +1462,7 @@ impl<'p> Vm<'p> {
                         let mut target = p.cell.borrow_mut();
                         match &mut *target {
                             Value::Struct(fields) => {
-                                fields[idx] = value;
+                                Rc::make_mut(fields)[idx] = value;
                                 Ok(())
                             }
                             Value::Poison => Err(ExecError::PoisonedRead),
@@ -1458,7 +1473,7 @@ impl<'p> Vm<'p> {
                         // Value semantics: copy, modify, write back.
                         let sname = self.struct_name_of(base, false)?;
                         let idx = self.field_index(&sname, name)?;
-                        fields[idx] = value;
+                        Rc::make_mut(&mut fields)[idx] = value;
                         self.store(base, Value::Struct(fields))
                     }
                     Value::Nil => Err(ExecError::NilDeref),
@@ -1499,7 +1514,7 @@ impl<'p> Vm<'p> {
 
     // ---- helpers ----
 
-    fn auto_deref_struct(&self, v: Value, base: &Expr) -> Result<(Vec<Value>, String)> {
+    fn auto_deref_struct(&self, v: Value, base: &Expr) -> Result<(Rc<Vec<Value>>, String)> {
         match v {
             Value::Struct(fields) => {
                 let name = self.struct_name_of(base, false)?;
@@ -1552,7 +1567,7 @@ impl<'p> Vm<'p> {
                     .fields_of(name)
                     .map(|fs| fs.to_vec())
                     .unwrap_or_default();
-                Value::Struct(fields.iter().map(|(_, t)| self.zero_value(t)).collect())
+                Value::struct_of(fields.iter().map(|(_, t)| self.zero_value(t)).collect())
             }
         }
     }
@@ -1568,6 +1583,7 @@ fn make_slot(value: Value, boxed: bool) -> Slot {
 
 /// Applies a binary operator, charging string-concatenation ticks on the
 /// given runtime. Shared by both execution engines.
+#[inline]
 pub(crate) fn binop_rt(rt: &mut Runtime, op: BinOp, l: Value, r: Value) -> Result<Value> {
     use BinOp::*;
     if matches!(l, Value::Poison) || matches!(r, Value::Poison) {
@@ -1615,6 +1631,7 @@ pub(crate) fn binop_rt(rt: &mut Runtime, op: BinOp, l: Value, r: Value) -> Resul
     }
 }
 
+#[inline]
 pub(crate) fn check_poison(v: Value) -> Result<Value> {
     if matches!(v, Value::Poison) {
         Err(ExecError::PoisonedRead)
@@ -1623,6 +1640,7 @@ pub(crate) fn check_poison(v: Value) -> Result<Value> {
     }
 }
 
+#[inline]
 pub(crate) fn value_eq(a: &Value, b: &Value) -> Result<bool> {
     Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => x == y,
@@ -1637,7 +1655,7 @@ pub(crate) fn value_eq(a: &Value, b: &Value) -> Result<bool> {
             if xs.len() != ys.len() {
                 return Ok(false);
             }
-            for (x, y) in xs.iter().zip(ys) {
+            for (x, y) in xs.iter().zip(ys.iter()) {
                 if !value_eq(x, y)? {
                     return Ok(false);
                 }
@@ -1653,16 +1671,21 @@ pub(crate) fn value_eq(a: &Value, b: &Value) -> Result<bool> {
     })
 }
 
-/// Marks every heap object reachable from `v`.
-pub(crate) fn mark_value(
+/// Marks every heap object reachable from `v`. Generic over the table
+/// hashers so both engines can pass their own (the bytecode engine's
+/// tables use [`crate::fxhash::FxHasher`]).
+pub(crate) fn mark_value<S, S2>(
     v: &Value,
-    objects: &HashMap<ObjId, ObjAddr>,
+    objects: &HashMap<ObjId, ObjAddr, S>,
     marked: &mut HashSet<ObjAddr>,
-    seen: &mut HashSet<usize>,
-) {
+    seen: &mut HashSet<usize, S2>,
+) where
+    S: std::hash::BuildHasher,
+    S2: std::hash::BuildHasher,
+{
     match v {
         Value::Struct(fields) => {
-            for f in fields {
+            for f in fields.iter() {
                 mark_value(f, objects, marked, seen);
             }
         }

@@ -26,10 +26,11 @@
 
 pub mod bytecode;
 pub mod error;
+pub mod fxhash;
 pub mod interp;
 pub mod value;
 
-pub use bytecode::{lower, run_module, Const, Module};
+pub use bytecode::{lower, optimize, run_module, Const, Module, OptStats};
 pub use error::ExecError;
 pub use interp::{run, RunOutcome, SiteProfile, VmConfig};
 pub use value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};

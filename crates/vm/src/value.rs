@@ -5,9 +5,29 @@
 //! references to runtime-managed storage, and pointers address either a
 //! heap cell or a stack slot (uniformly represented as shared cells; the
 //! escape analysis decides which get heap *accounting*).
+//!
+//! # The three-tier layout
+//!
+//! [`Value`] is the unit of operand-stack and frame-slot traffic, so its
+//! size is the VM's memory bandwidth. The enum is kept at **24 bytes**
+//! (asserted by a test below) by tiering the payloads:
+//!
+//! 1. **Inline scalars** — `Int`, `Bool`, `Nil`, `Poison` fit in the
+//!    discriminant + 8 payload bytes.
+//! 2. **Shared string** — `Str(Rc<str>)` is a 16-byte fat pointer; the
+//!    payload is immutable, so a clone is a refcount bump. This tier
+//!    sets the enum's size floor.
+//! 3. **Boxed aggregates** — `Struct`, `Ptr`, `Slice`, and `Map` hold an
+//!    8-byte `Rc` to their (formerly inline, up to 48-byte) payloads.
+//!    Cloning any of them is a refcount bump instead of a header
+//!    memcpy. Value semantics for structs and slice headers are
+//!    preserved with copy-on-write: every mutation site goes through
+//!    [`Rc::make_mut`], which clones the payload only when it is
+//!    actually shared — exactly the copy Go semantics would have made
+//!    eagerly. Maps and pointer cells are reference types, so sharing
+//!    the payload *is* their semantics and they are never `make_mut`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -30,14 +50,15 @@ pub enum Value {
     Str(Rc<str>),
     /// Typed nil (pointer, slice, or map).
     Nil,
-    /// A struct value: fields in declaration order.
-    Struct(Vec<Value>),
+    /// A struct value: fields in declaration order. Copy-on-write:
+    /// mutations go through [`Rc::make_mut`] (see the module docs).
+    Struct(Rc<Vec<Value>>),
     /// A pointer to a cell.
-    Ptr(PtrVal),
-    /// A slice header.
-    Slice(SliceVal),
+    Ptr(Rc<PtrVal>),
+    /// A slice header. Copy-on-write like `Struct`.
+    Slice(Rc<SliceVal>),
     /// A map reference.
-    Map(MapVal),
+    Map(Rc<MapVal>),
     /// Poisoned memory written by the §6.8 mock `tcfree`; reading it is a
     /// runtime error, which is how unsound frees are detected.
     Poison,
@@ -113,7 +134,7 @@ pub struct MapData {
     /// Entries (insertion-ordered for deterministic runs).
     pub entries: Vec<(Key, Value)>,
     /// Fast lookup index.
-    pub index: HashMap<Key, usize>,
+    pub index: crate::fxhash::FxHashMap<Key, usize>,
     /// Current bucket array, if it has been grown off the hmap.
     pub buckets_obj: Option<ObjId>,
     /// Bucket capacity (entries before the next growth).
@@ -217,6 +238,26 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Builds a struct value (tier-3 boxing in one place).
+    pub fn struct_of(fields: Vec<Value>) -> Value {
+        Value::Struct(Rc::new(fields))
+    }
+
+    /// Builds a pointer value.
+    pub fn ptr(p: PtrVal) -> Value {
+        Value::Ptr(Rc::new(p))
+    }
+
+    /// Builds a slice value.
+    pub fn slice(s: SliceVal) -> Value {
+        Value::Slice(Rc::new(s))
+    }
+
+    /// Builds a map value.
+    pub fn map(m: MapVal) -> Value {
+        Value::Map(Rc::new(m))
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +268,7 @@ mod tests {
     fn map_data_insert_get_remove() {
         let mut m = MapData {
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: crate::fxhash::FxHashMap::default(),
             buckets_obj: None,
             bucket_cap: 8,
             default: Value::Int(0),
@@ -250,7 +291,7 @@ mod tests {
     fn map_reindexes_after_remove() {
         let mut m = MapData {
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: crate::fxhash::FxHashMap::default(),
             buckets_obj: None,
             bucket_cap: 8,
             default: Value::Int(0),
@@ -270,7 +311,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(Value::Int(3).display(), "3");
         assert_eq!(Value::Nil.display(), "nil");
-        let s = Value::Slice(SliceVal {
+        let s = Value::slice(SliceVal {
             cells: Rc::new(RefCell::new(vec![
                 Value::Int(1),
                 Value::Int(2),
@@ -283,9 +324,33 @@ mod tests {
         });
         assert_eq!(s.display(), "[1 2]");
         assert_eq!(
-            Value::Struct(vec![Value::Int(1), Value::Bool(true)]).display(),
+            Value::struct_of(vec![Value::Int(1), Value::Bool(true)]).display(),
             "{1 true}"
         );
+    }
+
+    /// The three-tier layout (module docs) pins `Value` at 24 bytes on
+    /// 64-bit hosts: 16 for the `Rc<str>` fat pointer plus 8 for the
+    /// discriminant-bearing word. Growing any variant past that is a
+    /// regression in operand-stack and slot bandwidth.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn value_stays_compact() {
+        assert_eq!(std::mem::size_of::<Value>(), 24);
+        assert_eq!(std::mem::size_of::<Option<Value>>(), 24);
+    }
+
+    #[test]
+    fn struct_mutation_is_copy_on_write() {
+        // A cloned struct value must not observe mutations of the
+        // original (Go value semantics, preserved via Rc::make_mut).
+        let mut a = Value::struct_of(vec![Value::Int(1), Value::Int(2)]);
+        let b = a.clone();
+        if let Value::Struct(fields) = &mut a {
+            Rc::make_mut(fields)[0] = Value::Int(99);
+        }
+        assert_eq!(a.display(), "{99 2}");
+        assert_eq!(b.display(), "{1 2}");
     }
 
     #[test]

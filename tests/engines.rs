@@ -1,37 +1,47 @@
-//! Differential tests: the bytecode engine must be observationally
-//! identical to the tree-walking interpreter — byte-identical program
-//! output, the same `tcfree` insertion counts, and bit-identical
-//! runtime metrics (allocations, frees, GC cycles, virtual time) — on
-//! every workload, in both Go and GoFree modes.
+//! Differential tests: the bytecode engine — at both `--opt off`
+//! (baseline lowering) and `--opt full` (the optimizer tier) — must be
+//! observationally identical to the tree-walking interpreter:
+//! byte-identical program output, the same `tcfree` insertion counts,
+//! and bit-identical runtime metrics (allocations, frees, GC cycles,
+//! virtual time) on every workload, in both Go and GoFree modes.
 
-use gofree::{compile, execute, CompileOptions, Compiled, Report, RunConfig, Setting, VmEngine};
+use gofree::{
+    compile, execute, CompileOptions, Compiled, OptLevel, Report, RunConfig, Setting, VmEngine,
+};
 use gofree_workloads::{corpus, fuzzgen, micro, Scale};
 
-/// Runs one compiled program on both engines and asserts every
-/// observable field of the reports matches.
+/// Runs one compiled program on the tree-walk and on the bytecode
+/// engine at both opt levels, asserting every observable field of the
+/// three reports matches.
 fn assert_engines_agree(label: &str, compiled: &Compiled, setting: Setting, cfg: &RunConfig) {
-    let run_on = |engine: VmEngine| -> Report {
+    let run_on = |engine: VmEngine, opt: OptLevel| -> Report {
         let cfg = RunConfig {
             engine,
+            opt,
             ..cfg.clone()
         };
         execute(compiled, setting, &cfg)
-            .unwrap_or_else(|e| panic!("{label} ({setting}, {engine}): {e}"))
+            .unwrap_or_else(|e| panic!("{label} ({setting}, {engine}, opt {opt}): {e}"))
     };
-    let tree = run_on(VmEngine::TreeWalk);
-    let byte = run_on(VmEngine::Bytecode);
-    assert_eq!(tree.output, byte.output, "{label} ({setting}): output");
-    assert_eq!(tree.time, byte.time, "{label} ({setting}): virtual time");
-    assert_eq!(tree.steps, byte.steps, "{label} ({setting}): steps");
-    assert_eq!(
-        format!("{:?}", tree.metrics),
-        format!("{:?}", byte.metrics),
-        "{label} ({setting}): metrics"
-    );
-    assert_eq!(
-        tree.site_profile, byte.site_profile,
-        "{label} ({setting}): site profile"
-    );
+    let tree = run_on(VmEngine::TreeWalk, OptLevel::Off);
+    for opt in [OptLevel::Off, OptLevel::Full] {
+        let byte = run_on(VmEngine::Bytecode, opt);
+        assert_eq!(
+            tree.output, byte.output,
+            "{label} ({setting}/{opt}): output"
+        );
+        assert_eq!(tree.time, byte.time, "{label} ({setting}/{opt}): time");
+        assert_eq!(tree.steps, byte.steps, "{label} ({setting}/{opt}): steps");
+        assert_eq!(
+            format!("{:?}", tree.metrics),
+            format!("{:?}", byte.metrics),
+            "{label} ({setting}/{opt}): metrics"
+        );
+        assert_eq!(
+            tree.site_profile, byte.site_profile,
+            "{label} ({setting}/{opt}): site profile"
+        );
+    }
 }
 
 /// Compiles `src` both ways and checks engine agreement under Go and
@@ -113,30 +123,137 @@ fn engines_agree_on_fuzzed_programs() {
         let gofree = compile(&src, &CompileOptions::default())
             .unwrap_or_else(|e| panic!("{label}: {}", e.render(&src)));
         for (compiled, setting) in [(&go, Setting::Go), (&gofree, Setting::GoFree)] {
-            let run_on = |engine: VmEngine| {
+            let run_on = |engine: VmEngine, opt: OptLevel| {
                 let cfg = RunConfig {
                     engine,
+                    opt,
                     ..RunConfig::deterministic(5)
                 };
                 execute(compiled, setting, &cfg)
             };
-            match (run_on(VmEngine::TreeWalk), run_on(VmEngine::Bytecode)) {
-                (Ok(t), Ok(b)) => {
-                    assert_eq!(t.output, b.output, "{label} ({setting}): output");
-                    assert_eq!(t.time, b.time, "{label} ({setting}): time");
-                    assert_eq!(
-                        format!("{:?}", t.metrics),
-                        format!("{:?}", b.metrics),
-                        "{label} ({setting}): metrics"
+            let tree = run_on(VmEngine::TreeWalk, OptLevel::Off);
+            for opt in [OptLevel::Off, OptLevel::Full] {
+                match (&tree, run_on(VmEngine::Bytecode, opt)) {
+                    (Ok(t), Ok(b)) => {
+                        assert_eq!(t.output, b.output, "{label} ({setting}/{opt}): output");
+                        assert_eq!(t.time, b.time, "{label} ({setting}/{opt}): time");
+                        assert_eq!(
+                            format!("{:?}", t.metrics),
+                            format!("{:?}", b.metrics),
+                            "{label} ({setting}/{opt}): metrics"
+                        );
+                    }
+                    (Err(t), Err(b)) => {
+                        assert_eq!(
+                            t.to_string(),
+                            b.to_string(),
+                            "{label} ({setting}/{opt}): error"
+                        );
+                    }
+                    (t, b) => panic!(
+                        "{label} ({setting}/{opt}): engines disagree on success: \
+                         tree-walk={t:?} bytecode={b:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn opt_levels_agree_on_traces_and_folded_profiles() {
+    // The optimizer tier must preserve the runtime event stream and the
+    // stack-attributed profile bit-for-bit, not just the scalar
+    // metrics: traced runs at `--opt off` and `--opt full` must emit
+    // identical event sequences and fold to identical profiles.
+    let cfg = RunConfig {
+        trace: true,
+        ..RunConfig::deterministic(7)
+    };
+    for w in gofree_workloads::all(Scale::Test) {
+        let compiled = compile(&w.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(&w.source)));
+        let run_at = |opt: OptLevel| -> Report {
+            let cfg = RunConfig { opt, ..cfg.clone() };
+            execute(&compiled, Setting::GoFree, &cfg)
+                .unwrap_or_else(|e| panic!("{} (opt {opt}): {e}", w.name))
+        };
+        let off = run_at(OptLevel::Off);
+        let full = run_at(OptLevel::Full);
+        let t_off = off.trace.as_ref().expect("traced run");
+        let t_full = full.trace.as_ref().expect("traced run");
+        assert_eq!(
+            format!("{:?}", t_off.events),
+            format!("{:?}", t_full.events),
+            "{}: trace events differ across opt levels",
+            w.name
+        );
+        t_full
+            .reconcile(&full.metrics)
+            .unwrap_or_else(|e| panic!("{}: optimized trace reconciles: {e}", w.name));
+        let p_off = gofree::Profile::build(t_off);
+        let p_full = gofree::Profile::build(t_full);
+        let folded_off =
+            gofree::folded_stacks(&p_off, &t_off.stacks, gofree::FoldedMetric::AllocBytes);
+        let folded_full =
+            gofree::folded_stacks(&p_full, &t_full.stacks, gofree::FoldedMetric::AllocBytes);
+        assert_eq!(
+            folded_off, folded_full,
+            "{}: folded profiles differ across opt levels",
+            w.name
+        );
+        // The optimizer actually did something on real workloads, and
+        // the run reports it.
+        let stats = full.opt.as_ref().expect("optimized run carries stats");
+        assert!(
+            stats.instrs_after < stats.instrs_before,
+            "{}: optimizer had no effect: {stats:?}",
+            w.name
+        );
+        assert!(off.opt.is_none(), "{}: --opt off carries no stats", w.name);
+    }
+}
+
+#[test]
+fn lowered_jump_targets_are_all_patched_and_in_bounds() {
+    // The lowerer resolves forward jumps through a single back-patch
+    // table applied once per function; every emitted placeholder must
+    // have been claimed. A leftover `usize::MAX` (or any out-of-bounds
+    // target) in either the baseline or the optimized stream would mean
+    // a patch was recorded against the wrong index.
+    let mut srcs: Vec<(String, String)> = gofree_workloads::all(Scale::Test)
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.source))
+        .collect();
+    for nfuncs in [1, 4, 16] {
+        srcs.push((format!("corpus n={nfuncs}"), corpus::generate(nfuncs)));
+    }
+    for seed in 0..20 {
+        srcs.push((format!("fuzz seed={seed}"), fuzzgen::generate(seed)));
+    }
+    for (label, src) in &srcs {
+        for opts in [CompileOptions::go(), CompileOptions::default()] {
+            let compiled =
+                compile(src, &opts).unwrap_or_else(|e| panic!("{label}: {}", e.render(src)));
+            for (stream, module) in [("lowered", &compiled.lowered), ("opt", &compiled.optimized)] {
+                for f in &module.funcs {
+                    for (pc, instr) in f.code.iter().enumerate() {
+                        if let Some(t) = instr.jump_target() {
+                            assert!(
+                                t < f.code.len(),
+                                "{label} ({stream}): {}@{pc} jumps to {t}, \
+                                 out of bounds for {} instrs: {instr:?}",
+                                f.name,
+                                f.code.len()
+                            );
+                        }
+                    }
+                    assert!(
+                        matches!(f.code.last(), Some(minigo_vm::bytecode::Instr::Ret)),
+                        "{label} ({stream}): {} does not end in Ret",
+                        f.name
                     );
                 }
-                (Err(t), Err(b)) => {
-                    assert_eq!(t.to_string(), b.to_string(), "{label} ({setting}): error");
-                }
-                (t, b) => panic!(
-                    "{label} ({setting}): engines disagree on success: \
-                     tree-walk={t:?} bytecode={b:?}"
-                ),
             }
         }
     }

@@ -4,14 +4,16 @@
 //! new divergence is ddmin-minimized and written into the corpus before
 //! the test fails.
 
-use gofree::{compile, execute, CompileOptions, PoisonMode, RunConfig, Setting, VmEngine};
+use gofree::{
+    compile, execute, CompileOptions, OptLevel, PoisonMode, RunConfig, Setting, VmEngine,
+};
 use gofree_workloads::{fuzzgen, regressions};
 
 /// Returns a description of the first divergence `src` exhibits, or
 /// `None` when the program behaves identically under Go, GoFree,
-/// poisoned GoFree, and both engines (including their event traces).
-/// Compile errors count as "no divergence" so the minimizer never walks
-/// out of the language.
+/// poisoned GoFree, both engines, and both bytecode opt levels
+/// (including their event traces). Compile errors count as "no
+/// divergence" so the minimizer never walks out of the language.
 fn divergence(src: &str) -> Option<String> {
     let cfg = RunConfig {
         seed: 5,
@@ -67,6 +69,29 @@ fn divergence(src: &str) -> Option<String> {
             if let Err(e) = trace.reconcile(&report.metrics) {
                 return Some(format!("{setting}: trace does not reconcile: {e}"));
             }
+        }
+        // The default runs above executed the optimized stream; the
+        // baseline (`--opt off`) stream must be bit-identical on every
+        // observable too.
+        let raw = execute(
+            compiled,
+            setting,
+            &RunConfig {
+                opt: OptLevel::Off,
+                ..cfg.clone()
+            },
+        )
+        .ok()?;
+        if raw.output != report.output || raw.time != report.time || raw.steps != report.steps {
+            return Some(format!(
+                "{setting}: opt levels diverge on output/time/steps"
+            ));
+        }
+        if format!("{:?}", raw.metrics) != format!("{:?}", report.metrics) {
+            return Some(format!("{setting}: opt levels diverge on metrics"));
+        }
+        if raw.trace != report.trace {
+            return Some(format!("{setting}: opt levels diverge on the event trace"));
         }
     }
     None
