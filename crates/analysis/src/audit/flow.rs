@@ -86,6 +86,12 @@ pub(crate) struct SiteSnapshot {
     pub state: FlowState,
     /// Variables (deref-)live after the free statement.
     pub live_after: BTreeSet<VarId>,
+    /// Field refinement: a variable present here (always also in
+    /// `live_after`) is only ever used again through the named struct
+    /// fields, so the liveness conjunct may restrict its reach to those
+    /// fields' contents (plus the struct objects themselves). Supports
+    /// proving partial frees `tcfree(x.f)` while `x.g` stays live.
+    pub live_fields_after: BTreeMap<VarId, BTreeSet<String>>,
 }
 
 /// Everything the forward+backward passes derive for one function.
@@ -114,6 +120,13 @@ pub(crate) struct FnSummary {
     pub leaks: Vec<bool>,
     /// Per parameter: may the callee free the argument's object?
     pub frees: Vec<bool>,
+    /// Per parameter: may the callee touch the argument's referent at
+    /// all? `false` only when every occurrence of the parameter in the
+    /// callee is a bare pass-through into a position that is itself
+    /// unused — derived syntactically, bottom-up, independently of the
+    /// primary analysis's `UseSummary`. Lets the liveness pass ignore
+    /// dead arguments at call sites (context-sensitive last use).
+    pub uses: Vec<bool>,
 }
 
 /// Summary of one result position.
@@ -143,7 +156,14 @@ impl FnSummary {
                 .collect(),
             leaks: vec![true; nparams],
             frees: vec![true; nparams],
+            uses: vec![true; nparams],
         }
+    }
+
+    /// Whether the parameter at `idx` may be used; out-of-range
+    /// positions are conservatively used.
+    pub fn param_used(&self, idx: usize) -> bool {
+        self.uses.get(idx).copied().unwrap_or(true)
     }
 }
 
@@ -815,25 +835,92 @@ impl<'a> FlowAnalyzer<'a> {
     }
 }
 
+/// The backward liveness domain: live variables, with an optional
+/// per-variable *field refinement*. A variable in `refined` (always also
+/// in `vars`) is only ever used again through the named struct fields —
+/// every other use path is dead — so the judge may restrict its reach to
+/// those fields' contents. A bare (non-projection) use discards the
+/// refinement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct LiveSet {
+    /// Variables live at this point.
+    pub vars: BTreeSet<VarId>,
+    /// Field-refined subset of `vars`.
+    pub refined: BTreeMap<VarId, BTreeSet<String>>,
+}
+
+impl LiveSet {
+    fn use_bare(&mut self, v: VarId) {
+        self.vars.insert(v);
+        self.refined.remove(&v);
+    }
+
+    fn use_field(&mut self, v: VarId, field: &str) {
+        if self.vars.insert(v) {
+            // First (backward) use seen: live through this field only.
+            self.refined.entry(v).or_default().insert(field.to_string());
+        } else if let Some(s) = self.refined.get_mut(&v) {
+            s.insert(field.to_string());
+        }
+        // Already live unrefined: stays unrefined.
+    }
+
+    fn kill(&mut self, v: VarId) {
+        self.vars.remove(&v);
+        self.refined.remove(&v);
+    }
+
+    /// Path join: a variable is refined in the result only if no joined
+    /// path uses it unrefined; its field set is the union over paths.
+    fn join(&self, other: &LiveSet) -> LiveSet {
+        let mut vars = self.vars.clone();
+        vars.extend(other.vars.iter().copied());
+        let mut refined = BTreeMap::new();
+        for v in &vars {
+            let a_full = self.vars.contains(v) && !self.refined.contains_key(v);
+            let b_full = other.vars.contains(v) && !other.refined.contains_key(v);
+            if a_full || b_full {
+                continue;
+            }
+            let mut s: BTreeSet<String> = self.refined.get(v).cloned().unwrap_or_default();
+            if let Some(x) = other.refined.get(v) {
+                s.extend(x.iter().cloned());
+            }
+            refined.insert(*v, s);
+        }
+        LiveSet { vars, refined }
+    }
+}
+
 /// Backward deref-liveness: computes, for every `Free` statement, the
 /// set of variables live *after* it. A variable occurrence counts as a
 /// use everywhere except as the direct target of a `Free` statement —
 /// freeing a dangling reference is the runtime's tolerated path, while
-/// any other use may reach the freed storage.
+/// any other use may reach the freed storage. Two refinements feed the
+/// liveness-driven placement proofs: field projections (`x.f`) refine
+/// rather than fully pin the base variable, and a bare argument handed
+/// to a callee position the callee provably never uses
+/// ([`FnSummary::uses`]) is not a use at all.
 pub(crate) struct Liveness<'a> {
     res: &'a Resolution,
     func: &'a Func,
+    summaries: &'a HashMap<String, FnSummary>,
     /// live-after sets per Free statement.
-    pub live_after: HashMap<minigo_syntax::StmtId, BTreeSet<VarId>>,
-    breaks: Vec<Vec<BTreeSet<VarId>>>,
-    continues: Vec<Vec<BTreeSet<VarId>>>,
+    pub live_after: HashMap<minigo_syntax::StmtId, LiveSet>,
+    breaks: Vec<Vec<LiveSet>>,
+    continues: Vec<Vec<LiveSet>>,
 }
 
 impl<'a> Liveness<'a> {
-    pub fn new(res: &'a Resolution, func: &'a Func) -> Self {
+    pub fn new(
+        res: &'a Resolution,
+        func: &'a Func,
+        summaries: &'a HashMap<String, FnSummary>,
+    ) -> Self {
         Liveness {
             res,
             func,
+            summaries,
             live_after: HashMap::new(),
             breaks: Vec::new(),
             continues: Vec::new(),
@@ -842,24 +929,35 @@ impl<'a> Liveness<'a> {
 
     pub fn run(&mut self) {
         // Named results are read by the caller at exit.
-        let exit: BTreeSet<VarId> = self.res.results_of(self.func.id).iter().copied().collect();
+        let mut exit = LiveSet::default();
+        for v in self.res.results_of(self.func.id) {
+            exit.use_bare(*v);
+        }
         let body = &self.func.body;
         self.back_block(body, exit);
     }
 
-    fn uses(&self, e: &Expr, out: &mut BTreeSet<VarId>) {
-        if let ExprKind::Ident(_) = &e.kind {
-            if let Some(v) = self.res.def_of(e.id) {
-                out.insert(v);
-            }
-        }
+    fn uses(&self, e: &Expr, out: &mut LiveSet) {
         match &e.kind {
+            ExprKind::Ident(_) => {
+                if let Some(v) = self.res.def_of(e.id) {
+                    out.use_bare(v);
+                }
+            }
+            ExprKind::Field { base, name } => {
+                if let ExprKind::Ident(_) = &base.kind {
+                    if let Some(v) = self.res.def_of(base.id) {
+                        out.use_field(v, name);
+                        return;
+                    }
+                }
+                self.uses(base, out);
+            }
             ExprKind::Unary { operand, .. } => self.uses(operand, out),
             ExprKind::Binary { lhs, rhs, .. } => {
                 self.uses(lhs, out);
                 self.uses(rhs, out);
             }
-            ExprKind::Field { base, .. } => self.uses(base, out),
             ExprKind::Index { base, index } => {
                 self.uses(base, out);
                 self.uses(index, out);
@@ -870,7 +968,20 @@ impl<'a> Liveness<'a> {
                     self.uses(b, out);
                 }
             }
-            ExprKind::Call { args, .. } | ExprKind::Builtin { args, .. } => {
+            ExprKind::Call { callee, args } => {
+                let sum = self.summaries.get(callee);
+                for (i, a) in args.iter().enumerate() {
+                    if matches!(a.kind, ExprKind::Ident(_))
+                        && sum.map(|s| !s.param_used(i)).unwrap_or(false)
+                    {
+                        // Dead pass-through: the callee cannot touch the
+                        // referent, so the argument stays dead here.
+                        continue;
+                    }
+                    self.uses(a, out);
+                }
+            }
+            ExprKind::Builtin { args, .. } => {
                 for a in args {
                     self.uses(a, out);
                 }
@@ -884,21 +995,21 @@ impl<'a> Liveness<'a> {
         }
     }
 
-    fn back_block(&mut self, block: &Block, mut live: BTreeSet<VarId>) -> BTreeSet<VarId> {
+    fn back_block(&mut self, block: &Block, mut live: LiveSet) -> LiveSet {
         for stmt in block.stmts.iter().rev() {
             live = self.back_stmt(stmt, live);
         }
         live
     }
 
-    fn back_stmt(&mut self, stmt: &Stmt, live: BTreeSet<VarId>) -> BTreeSet<VarId> {
+    fn back_stmt(&mut self, stmt: &Stmt, live: LiveSet) -> LiveSet {
         match &stmt.kind {
             StmtKind::VarDecl { init, .. } | StmtKind::ShortDecl { init, .. } => {
                 let mut l = live;
                 for idx in 0.. {
                     match self.res.decl_of(stmt.id, idx) {
                         Some(v) => {
-                            l.remove(&v);
+                            l.kill(v);
                         }
                         None => break,
                     }
@@ -914,7 +1025,7 @@ impl<'a> Liveness<'a> {
                     if let ExprKind::Ident(_) = &target.kind {
                         if op.is_none() {
                             if let Some(v) = self.res.def_of(target.id) {
-                                l.remove(&v);
+                                l.kill(v);
                             }
                         } else {
                             self.uses(target, &mut l);
@@ -934,7 +1045,7 @@ impl<'a> Liveness<'a> {
                     Some(e) => self.back_stmt(e, live),
                     None => live,
                 };
-                let mut l: BTreeSet<VarId> = then_in.union(&els_in).copied().collect();
+                let mut l = then_in.join(&els_in);
                 self.uses(cond, &mut l);
                 l
             }
@@ -946,7 +1057,7 @@ impl<'a> Liveness<'a> {
             } => {
                 self.breaks.push(vec![live.clone()]);
                 self.continues.push(Vec::new());
-                let mut head: BTreeSet<VarId> = live.clone();
+                let mut head = live.clone();
                 for _ in 0..MAX_LOOP_ITERS {
                     let mut h = head.clone();
                     if let Some(cond) = cond {
@@ -962,8 +1073,7 @@ impl<'a> Liveness<'a> {
                         c.push(post_in.clone());
                     }
                     let body_in = self.back_block(body, post_in);
-                    let mut new_head = head.clone();
-                    new_head.extend(body_in);
+                    let mut new_head = head.join(&body_in);
                     if let Some(cond) = cond {
                         self.uses(cond, &mut new_head);
                     }
@@ -980,11 +1090,12 @@ impl<'a> Liveness<'a> {
                 }
             }
             StmtKind::Return { exprs } => {
-                let mut l: BTreeSet<VarId> = if exprs.is_empty() {
-                    self.res.results_of(self.func.id).iter().copied().collect()
-                } else {
-                    BTreeSet::new()
-                };
+                let mut l = LiveSet::default();
+                if exprs.is_empty() {
+                    for v in self.res.results_of(self.func.id) {
+                        l.use_bare(*v);
+                    }
+                }
                 for e in exprs {
                     self.uses(e, &mut l);
                 }
@@ -1006,19 +1117,23 @@ impl<'a> Liveness<'a> {
                 cases,
                 default,
             } => {
-                let mut l = BTreeSet::new();
+                let mut l = LiveSet::default();
+                let mut first = true;
                 for case in cases {
-                    l.extend(self.back_block(&case.body, live.clone()));
-                    let mut vals = BTreeSet::new();
+                    let case_in = self.back_block(&case.body, live.clone());
+                    l = if first { case_in } else { l.join(&case_in) };
+                    first = false;
+                    let mut vals = LiveSet::default();
                     for v in &case.values {
                         self.uses(v, &mut vals);
                     }
-                    l.extend(vals);
+                    l = l.join(&vals);
                 }
-                match default {
-                    Some(d) => l.extend(self.back_block(d, live)),
-                    None => l.extend(live),
-                }
+                let dflt = match default {
+                    Some(d) => self.back_block(d, live),
+                    None => live,
+                };
+                l = if first { dflt } else { l.join(&dflt) };
                 self.uses(subject, &mut l);
                 l
             }
@@ -1053,17 +1168,18 @@ pub(crate) fn analyze_func(
 ) -> FuncFlow {
     let mut fwd = FlowAnalyzer::new(res, types, summaries, func);
     fwd.run();
-    let mut live = Liveness::new(res, func);
+    let mut live = Liveness::new(res, func, summaries);
     live.run();
     let mut sites = HashMap::new();
     for (stmt, (targets, state)) in fwd.sites.drain() {
-        let live_after = live.live_after.get(&stmt).cloned().unwrap_or_default();
+        let ls = live.live_after.get(&stmt).cloned().unwrap_or_default();
         sites.insert(
             stmt,
             SiteSnapshot {
                 targets,
                 state,
-                live_after,
+                live_after: ls.vars,
+                live_fields_after: ls.refined,
             },
         );
     }
@@ -1075,8 +1191,161 @@ pub(crate) fn analyze_func(
     }
 }
 
+/// Syntactic parameter-use walker: marks a parameter used on any
+/// occurrence except a bare pass-through into a summarized callee
+/// position that is itself unused. The auditor's independent counterpart
+/// of the planner's `UseSummary` derivation.
+pub(crate) fn param_uses(
+    res: &Resolution,
+    func: &Func,
+    summaries: &HashMap<String, FnSummary>,
+) -> Vec<bool> {
+    let params: Vec<VarId> = res.params_of(func.id).to_vec();
+    let mut used = vec![false; params.len()];
+    fn expr(
+        e: &Expr,
+        res: &Resolution,
+        params: &[VarId],
+        summaries: &HashMap<String, FnSummary>,
+        used: &mut [bool],
+    ) {
+        match &e.kind {
+            ExprKind::Ident(_) => {
+                if let Some(v) = res.def_of(e.id) {
+                    if let Some(i) = params.iter().position(|p| *p == v) {
+                        used[i] = true;
+                    }
+                }
+            }
+            ExprKind::Unary { operand, .. } => expr(operand, res, params, summaries, used),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                expr(lhs, res, params, summaries, used);
+                expr(rhs, res, params, summaries, used);
+            }
+            ExprKind::Field { base, .. } => expr(base, res, params, summaries, used),
+            ExprKind::Index { base, index } => {
+                expr(base, res, params, summaries, used);
+                expr(index, res, params, summaries, used);
+            }
+            ExprKind::SliceExpr { base, lo, hi } => {
+                expr(base, res, params, summaries, used);
+                for b in [lo, hi].into_iter().flatten() {
+                    expr(b, res, params, summaries, used);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let sum = summaries.get(callee);
+                for (i, a) in args.iter().enumerate() {
+                    if matches!(a.kind, ExprKind::Ident(_))
+                        && sum.map(|s| !s.param_used(i)).unwrap_or(false)
+                    {
+                        continue;
+                    }
+                    expr(a, res, params, summaries, used);
+                }
+            }
+            ExprKind::Builtin { args, .. } => {
+                for a in args {
+                    expr(a, res, params, summaries, used);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for f in fields {
+                    expr(f, res, params, summaries, used);
+                }
+            }
+            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Nil => {}
+        }
+    }
+    fn stmt(
+        s: &Stmt,
+        res: &Resolution,
+        params: &[VarId],
+        summaries: &HashMap<String, FnSummary>,
+        used: &mut [bool],
+    ) {
+        match &s.kind {
+            StmtKind::VarDecl { init, .. } | StmtKind::ShortDecl { init, .. } => init
+                .iter()
+                .for_each(|e| expr(e, res, params, summaries, used)),
+            StmtKind::Assign { lhs, rhs, .. } => lhs
+                .iter()
+                .chain(rhs)
+                .for_each(|e| expr(e, res, params, summaries, used)),
+            StmtKind::If { cond, then, els } => {
+                expr(cond, res, params, summaries, used);
+                block(then, res, params, summaries, used);
+                if let Some(e) = els {
+                    stmt(e, res, params, summaries, used);
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                post,
+                body,
+            } => {
+                if let Some(i) = init {
+                    stmt(i, res, params, summaries, used);
+                }
+                if let Some(c) = cond {
+                    expr(c, res, params, summaries, used);
+                }
+                if let Some(p) = post {
+                    stmt(p, res, params, summaries, used);
+                }
+                block(body, res, params, summaries, used);
+            }
+            StmtKind::Return { exprs } => exprs
+                .iter()
+                .for_each(|e| expr(e, res, params, summaries, used)),
+            StmtKind::Expr { expr: e } => expr(e, res, params, summaries, used),
+            StmtKind::BlockStmt { block: b } => block(b, res, params, summaries, used),
+            StmtKind::Defer { call } => expr(call, res, params, summaries, used),
+            StmtKind::Switch {
+                subject,
+                cases,
+                default,
+            } => {
+                expr(subject, res, params, summaries, used);
+                for case in cases {
+                    case.values
+                        .iter()
+                        .for_each(|v| expr(v, res, params, summaries, used));
+                    block(&case.body, res, params, summaries, used);
+                }
+                if let Some(d) = default {
+                    block(d, res, params, summaries, used);
+                }
+            }
+            // Freeing a parameter's object touches it: a caller must not
+            // advance its own free past this call.
+            StmtKind::Free { target, .. } => expr(target, res, params, summaries, used),
+            StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+    fn block(
+        b: &Block,
+        res: &Resolution,
+        params: &[VarId],
+        summaries: &HashMap<String, FnSummary>,
+        used: &mut [bool],
+    ) {
+        for s in &b.stmts {
+            stmt(s, res, params, summaries, used);
+        }
+    }
+    block(&func.body, res, &params, summaries, &mut used);
+    used
+}
+
 /// Derives a callee summary from a completed per-function analysis.
-pub(crate) fn summarize(func: &Func, flow: &FuncFlow) -> FnSummary {
+pub(crate) fn summarize(
+    func: &Func,
+    res: &Resolution,
+    flow: &FuncFlow,
+    summaries: &HashMap<String, FnSummary>,
+) -> FnSummary {
     let nparams = func.params.len();
     let roots: ObjSet = std::iter::once(AbsObj::Unknown)
         .chain((0..nparams).map(AbsObj::Param))
@@ -1146,5 +1415,6 @@ pub(crate) fn summarize(func: &Func, flow: &FuncFlow) -> FnSummary {
         results,
         leaks,
         frees: flow.freed_params.clone(),
+        uses: param_uses(res, func, summaries),
     }
 }

@@ -32,7 +32,7 @@ use minigo_syntax::{
     TypeInfo,
 };
 
-use flow::{analyze_func, closure, summarize, AbsObj, FnSummary, FuncFlow, ObjSet};
+use flow::{analyze_func, closure, summarize, AbsObj, FieldKey, FnSummary, FuncFlow, ObjSet};
 
 /// How the pipeline reacts to the auditor's findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -177,6 +177,7 @@ impl AuditReport {
 fn render_target(e: &Expr) -> String {
     match &e.kind {
         ExprKind::Ident(name) => name.clone(),
+        ExprKind::Field { base, name } => format!("{}.{}", render_target(base), name),
         _ => "<expr>".to_string(),
     }
 }
@@ -235,7 +236,8 @@ fn summarize_func(
         }
     }
     let fl = analyze_func(res, types, summaries, func);
-    summaries.insert(func.name.clone(), summarize(func, &fl));
+    let summary = summarize(func, res, &fl, summaries);
+    summaries.insert(func.name.clone(), summary);
     flows.insert(func.name.clone(), fl);
     visiting.remove(&func.name);
 }
@@ -430,12 +432,31 @@ fn judge(stmt: StmtId, fl: &FuncFlow) -> AuditVerdict {
             "the freed object may have escaped into caller-visible or deferred storage".to_string(),
         );
     }
-    // Liveness: no live variable may reach the freed object.
+    // Liveness: no live variable may reach the freed object. A variable
+    // whose remaining uses are all projections of specific struct fields
+    // (`live_fields_after`) only reaches the struct objects themselves
+    // plus the contents of those fields — the refinement that proves
+    // partial frees `tcfree(x.f)` while `x.g` stays live.
     for v in &snap.live_after {
         let Some(vp) = snap.state.pts.get(v) else {
             continue;
         };
-        let reach = closure(&fl.contains, vp);
+        let reach = match snap.live_fields_after.get(v) {
+            Some(fields) => {
+                let mut roots = ObjSet::new();
+                for o in vp {
+                    for f in fields {
+                        if let Some(inner) = fl.contains.get(&(*o, FieldKey::Field(f.clone()))) {
+                            roots.extend(inner.iter().copied());
+                        }
+                    }
+                }
+                let mut r = closure(&fl.contains, &roots);
+                r.extend(vp.iter().copied());
+                r
+            }
+            None => closure(&fl.contains, vp),
+        };
         if reach.iter().any(|o| snap.targets.contains(o)) {
             return AuditVerdict::Unproven(format!(
                 "a variable live after the free (var #{}) may reference the freed object",
@@ -658,6 +679,78 @@ mod tests {
             stripped.funcs.iter().map(|f| frees(&f.body)).sum::<usize>()
         };
         assert_eq!(count, 0);
+    }
+
+    fn audited_lastuse(src: &str) -> (AuditReport, String) {
+        let program = parse(src).unwrap();
+        let mut res = resolve(&program).unwrap();
+        let mut types = typecheck(&program, &res).unwrap();
+        let analysis = crate::analyze(&program, &res, &types, &crate::AnalyzeOptions::default());
+        let plan = crate::liveness::plan_placement(&program, &res, &types, &analysis);
+        let program = crate::instrument_with_plan(&program, &mut res, &mut types, &analysis, &plan);
+        let text = minigo_syntax::print_program(&program);
+        (audit(&program, &res, &types), text)
+    }
+
+    #[test]
+    fn advanced_free_is_proved() {
+        let (r, text) = audited_lastuse(
+            "func main() { n := 16\n s := make([]int, n)\n s[0] = 1\n t := make([]int, n)\n t[0] = s[0]\n print(t[0])\n print(n) }\n",
+        );
+        // s's free is advanced past t's tail uses; both sites prove.
+        assert!(r.sites.len() >= 2, "{text}\n{}", r.render());
+        assert!(
+            r.sites.iter().all(|s| s.verdict.is_proved()),
+            "{text}\n{}",
+            r.render()
+        );
+        let free = text.find("tcfree(s)").expect(&text);
+        let t_use = text.find("print(t[0])").expect(&text);
+        assert!(free < t_use, "s freed before t's last use: {text}");
+    }
+
+    #[test]
+    fn advance_past_dead_callee_arg_is_proved() {
+        let (r, text) = audited_lastuse(
+            "func g(s []int, n int) int { return n + 1 }\nfunc main() { n := 8\n s := make([]int, n)\n s[0] = 1\n x := g(s, 2)\n print(x)\n print(n) }\n",
+        );
+        let free = text.find("tcfree(s)").expect(&text);
+        let call = text.find("g(s, 2)").expect(&text);
+        assert!(free < call, "free advanced past the dead-arg call: {text}");
+        assert!(
+            r.sites.iter().all(|s| s.verdict.is_proved()),
+            "auditor re-proves the dead-arg advance: {text}\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn ptr_struct_partial_free_is_proved_while_base_lives() {
+        let (r, text) = audited_lastuse(
+            "type T struct { a []int\n b map[int]int }\nfunc main() { n := 8\n x := &T{make([]int, n), make(map[int]int)}\n x.a[0] = 1\n print(x.a[0])\n x.b[1] = 2\n print(x.b[1])\n print(n) }\n",
+        );
+        assert!(text.contains("tcfree(x.a)"), "{text}");
+        assert!(text.contains("tcfree(x.b)"), "{text}");
+        let free_a = text.find("tcfree(x.a)").unwrap();
+        let use_b = text.find("x.b[1] = 2").unwrap();
+        assert!(free_a < use_b, "x.a freed while x.b still live: {text}");
+        assert!(
+            r.sites.iter().all(|s| s.verdict.is_proved()),
+            "field-refined liveness proves the partial frees: {text}\n{}",
+            r.render()
+        );
+        assert!(r.sites.iter().any(|s| s.target == "x.a"), "{}", r.render());
+    }
+
+    #[test]
+    fn planted_premature_lastuse_free_stays_unproven() {
+        // A hand-written free emulating a last-use misjudgment: the
+        // auditor must refuse it even in a lastuse-planned program.
+        let (r, _text) = audited_lastuse(
+            "func main() { s := make([]int, 8)\n s[0] = 7\n tcfree(s)\n print(s[0]) }\n",
+        );
+        let site = r.sites.iter().find(|s| s.target == "s").unwrap();
+        assert!(!site.verdict.is_proved(), "{}", r.render());
     }
 
     #[test]

@@ -13,19 +13,47 @@
 //! * mid-function returns skip the frees entirely — "it is still safe to
 //!   leave the deallocation to GC".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use minigo_syntax::{
     Block, Expr, ExprId, ExprKind, FreeKind, Program, Resolution, Span, Stmt, StmtId, StmtKind,
-    VarId,
+    TypeInfo, VarId,
 };
 
 use crate::analyze::Analysis;
+use crate::liveness::{PartialFree, PlacementPlan};
 
 /// Rewrites `program`, inserting the `tcfree` statements chosen by
 /// `analysis`. Synthesized identifier uses are registered in `res` so the
 /// VM can resolve them.
 pub fn instrument(program: &Program, res: &mut Resolution, analysis: &Analysis) -> Program {
+    instrument_inner(program, res, None, analysis, None)
+}
+
+/// Like [`instrument`], but honoring a liveness [`PlacementPlan`]:
+/// variables the plan advances are freed right after their last-use
+/// statement instead of at scope exit, and planned partial frees emit
+/// `tcfree(x.f)` statements whose synthesized expressions get types
+/// recorded in `types` (both VM engines resolve field projections through
+/// the expression type table). An empty plan reproduces [`instrument`]
+/// bit-exactly.
+pub fn instrument_with_plan(
+    program: &Program,
+    res: &mut Resolution,
+    types: &mut TypeInfo,
+    analysis: &Analysis,
+    plan: &PlacementPlan,
+) -> Program {
+    instrument_inner(program, res, Some(types), analysis, Some(plan))
+}
+
+fn instrument_inner(
+    program: &Program,
+    res: &mut Resolution,
+    mut types: Option<&mut TypeInfo>,
+    analysis: &Analysis,
+    plan: Option<&PlacementPlan>,
+) -> Program {
     let mut next_expr = program.expr_count;
     let mut next_stmt = program.stmt_count;
     let mut out = program.clone();
@@ -35,19 +63,43 @@ pub fn instrument(program: &Program, res: &mut Resolution, analysis: &Analysis) 
             .get(&func.id)
             .cloned()
             .unwrap_or_default();
-        if frees.is_empty() {
+        let advances = plan
+            .and_then(|pl| pl.advance.get(&func.id))
+            .cloned()
+            .unwrap_or_default();
+        let partials = plan
+            .and_then(|pl| pl.partials.get(&func.id))
+            .cloned()
+            .unwrap_or_default();
+        if frees.is_empty() && partials.is_empty() {
             continue;
         }
+        // Advanced variables leave the scope-exit path entirely.
+        let advanced: HashSet<VarId> = advances.iter().map(|(v, _, _)| *v).collect();
         // Map: declaring statement -> frees it triggers.
         let mut by_decl: HashMap<StmtId, Vec<(VarId, FreeKind)>> = HashMap::new();
         for (vid, kind) in frees {
+            if advanced.contains(&vid) {
+                continue;
+            }
             if let Some(stmt) = res.decl_stmt_of(vid) {
                 by_decl.entry(stmt).or_default().push((vid, kind));
             }
         }
+        let mut after_any: HashMap<StmtId, Vec<(VarId, FreeKind)>> = HashMap::new();
+        for (vid, kind, sid) in advances {
+            after_any.entry(sid).or_default().push((vid, kind));
+        }
+        let mut partial_after: HashMap<StmtId, Vec<PartialFree>> = HashMap::new();
+        for pf in partials {
+            partial_after.entry(pf.after).or_default().push(pf);
+        }
         let mut ctx = Inserter {
             res,
+            types: types.as_deref_mut(),
             by_decl,
+            after_any,
+            partial_after,
             next_expr: &mut next_expr,
             next_stmt: &mut next_stmt,
         };
@@ -60,7 +112,13 @@ pub fn instrument(program: &Program, res: &mut Resolution, analysis: &Analysis) 
 
 struct Inserter<'a> {
     res: &'a mut Resolution,
+    types: Option<&'a mut TypeInfo>,
     by_decl: HashMap<StmtId, Vec<(VarId, FreeKind)>>,
+    /// Liveness-advanced whole-variable frees, keyed by the statement
+    /// they follow.
+    after_any: HashMap<StmtId, Vec<(VarId, FreeKind)>>,
+    /// Planned partial frees, keyed by the statement they follow.
+    partial_after: HashMap<StmtId, Vec<PartialFree>>,
     next_expr: &'a mut u32,
     next_stmt: &'a mut u32,
 }
@@ -87,10 +145,49 @@ impl<'a> Inserter<'a> {
         }
     }
 
+    fn make_partial(&mut self, pf: &PartialFree) -> Stmt {
+        let base_id = ExprId(*self.next_expr);
+        *self.next_expr += 1;
+        let field_id = ExprId(*self.next_expr);
+        *self.next_expr += 1;
+        let stmt_id = StmtId(*self.next_stmt);
+        *self.next_stmt += 1;
+        self.res.record_use(base_id, pf.base);
+        let name = self.res.var(pf.base).name.clone();
+        if let Some(types) = self.types.as_deref_mut() {
+            // Both engines resolve `x.f` through the base expression's
+            // recorded type (struct name or pointer-to-struct).
+            if let Some(bt) = types.var(pf.base).cloned() {
+                types.record_expr_type(base_id, bt);
+            }
+            types.record_expr_type(field_id, pf.field_ty.clone());
+        }
+        Stmt {
+            id: stmt_id,
+            kind: StmtKind::Free {
+                target: Expr {
+                    id: field_id,
+                    kind: ExprKind::Field {
+                        base: Box::new(Expr {
+                            id: base_id,
+                            kind: ExprKind::Ident(name),
+                            span: Span::synthetic(),
+                        }),
+                        name: pf.field.clone(),
+                    },
+                    span: Span::synthetic(),
+                },
+                kind: pf.kind,
+            },
+            span: Span::synthetic(),
+        }
+    }
+
     fn rewrite_block(&mut self, block: &mut Block) {
         // First recurse into nested statements and collect insertions.
         let mut end_frees: Vec<(VarId, FreeKind)> = Vec::new();
         let mut after: HashMap<StmtId, Vec<(VarId, FreeKind)>> = HashMap::new();
+        let mut partial: HashMap<StmtId, Vec<PartialFree>> = HashMap::new();
         for stmt in &mut block.stmts {
             self.rewrite_stmt(stmt);
             match &stmt.kind {
@@ -110,8 +207,16 @@ impl<'a> Inserter<'a> {
                 }
                 _ => {}
             }
+            // Liveness-advanced frees and partial frees follow whichever
+            // statement the plan names, in whatever block it lives.
+            if let Some(list) = self.after_any.remove(&stmt.id) {
+                after.entry(stmt.id).or_default().extend(list);
+            }
+            if let Some(list) = self.partial_after.remove(&stmt.id) {
+                partial.entry(stmt.id).or_default().extend(list);
+            }
         }
-        if end_frees.is_empty() && after.is_empty() {
+        if end_frees.is_empty() && after.is_empty() && partial.is_empty() {
             return;
         }
         let old = std::mem::take(&mut block.stmts);
@@ -119,6 +224,7 @@ impl<'a> Inserter<'a> {
         let last_index = old.len().saturating_sub(1);
         for (i, stmt) in old.into_iter().enumerate() {
             let after_this = after.remove(&stmt.id);
+            let partial_this = partial.remove(&stmt.id);
             let is_last = i == last_index;
             if is_last && is_terminator(&stmt) {
                 // Insert the end-of-scope frees *before* the trailing
@@ -137,6 +243,11 @@ impl<'a> Inserter<'a> {
             if let Some(list) = after_this {
                 for (vid, kind) in list {
                     stmts.push(self.make_free(vid, kind));
+                }
+            }
+            if let Some(list) = partial_this {
+                for pf in list {
+                    stmts.push(self.make_partial(&pf));
                 }
             }
         }

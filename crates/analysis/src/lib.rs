@@ -45,6 +45,7 @@ pub mod callgraph;
 pub mod graph;
 pub mod inline;
 pub mod instrument;
+pub mod liveness;
 pub mod solve;
 pub mod summary;
 
@@ -56,7 +57,11 @@ pub use build::{build_func_graph, AllocSite, BuildOptions, FuncGraph};
 pub use callgraph::CallGraph;
 pub use graph::{AllocKind, ContentOrigin, Edge, EscapeGraph, LocId, LocKind, Location, HEAP_LOC};
 pub use inline::{inline_program, InlineOptions, InlineStats};
-pub use instrument::instrument;
+pub use instrument::{instrument, instrument_with_plan};
+pub use liveness::{
+    plan_placement, use_summaries, FreePlacement, PartialFree, PlacementPlan, PlacementStats,
+    UseSummary,
+};
 pub use solve::{holds, points_to, solve, walk, SolveConfig, SolveStats};
 pub use summary::{FuncSummary, SummaryDst, SummaryEdge};
 

@@ -1,0 +1,290 @@
+//! Liveness-driven free placement study (`results/liveness.txt`): for
+//! every subject workload, compile GoFree twice — `--free-placement
+//! scope` (§4.5 scope exit) and `--free-placement lastuse` (last-use
+//! advancement + partial frees) — run both traced, and compare per-site
+//! lifetime drag (virtual ticks between allocation and `tcfree`). The
+//! outputs must match bit-exactly; only *when* frees run may differ, so
+//! any drag reduction is pure placement win. Ends with directed
+//! partial-free demonstrations: struct locals the §6.5 target
+//! restriction abandons whole, reclaimed field-by-field.
+//!
+//! Every lastuse compile audits under `warn`, so the printed proof rate
+//! covers the advanced and partial sites; a `suppressed` count > 0 would
+//! mean the independent auditor refused a planned placement.
+
+use std::collections::HashMap;
+
+use gofree::{AuditMode, CompileOptions, FreePlacement, Profile, RunConfig, Setting};
+use gofree_bench::{pct, HarnessOptions};
+
+fn compile_placed(src: &str, placement: FreePlacement) -> gofree::Compiled {
+    let opts = CompileOptions {
+        audit: AuditMode::Warn,
+        free_placement: placement,
+        ..Setting::GoFree.compile_options()
+    };
+    gofree::compile(src, &opts).expect("workload compiles")
+}
+
+/// Per-site mean alloc→tcfree drag, keyed by trace site id.
+fn site_drags(profile: &Profile) -> HashMap<u32, f64> {
+    profile
+        .sites
+        .iter()
+        .filter_map(|d| {
+            let site = d.site?;
+            (d.tcfree_count > 0).then(|| (site, d.tcfree_ticks as f64 / d.tcfree_count as f64))
+        })
+        .collect()
+}
+
+/// Bytes reclaimed by explicit `tcfree` entry points (everything but
+/// the runtime's own map-growth frees).
+fn tcfreed_bytes(m: &minigo_runtime::Metrics) -> u64 {
+    [
+        gofree::FreeSource::SliceLifetime,
+        gofree::FreeSource::MapLifetime,
+        gofree::FreeSource::Object,
+    ]
+    .into_iter()
+    .map(|s| m.freed_bytes_by_source[s.index()])
+    .sum()
+}
+
+fn run_traced(compiled: &gofree::Compiled, cfg: &RunConfig) -> (gofree::Report, Profile) {
+    let report = gofree::execute(compiled, Setting::GoFree, cfg).expect("workload runs");
+    let trace = report.trace.as_ref().expect("traced run carries a trace");
+    let profile = Profile::build(trace);
+    profile
+        .reconcile(&report.metrics)
+        .expect("profile reconciles with metrics");
+    (report, profile)
+}
+
+/// Directed drag-shaped subjects: each builds slice/map temporaries in
+/// an early stage, finishes with them, and then runs a long
+/// temporary-free tail — the shape where scope-exit placement leaves
+/// the whole tail as lifetime drag. Stage sizes follow the harness
+/// scale like the corpus analogues do.
+fn drag_subjects(scale: gofree_workloads::Scale) -> Vec<(&'static str, String)> {
+    let reps = match scale {
+        gofree_workloads::Scale::Test => 40,
+        gofree_workloads::Scale::Full => 600,
+    };
+    let stage = format!(
+        "func step(n int) int {{\n\
+         \tbuf := make([]int, n)\n\
+         \tfor i := 0; i < n; i += 1 {{ buf[i] = i * 3 % 251 }}\n\
+         \tacc := buf[0] + buf[n-1] + buf[n/2]\n\
+         \ttail := 0\n\
+         \tfor i := 0; i < n*4; i += 1 {{ tail += i % 7 }}\n\
+         \treturn acc + tail\n}}\n\
+         func main() {{ total := 0\n\
+         \tfor r := 0; r < {reps}; r += 1 {{ total += step(192 + r%64) }}\n\
+         \tprint(total) }}\n"
+    );
+    let staggered = format!(
+        "func wave(n int) int {{\n\
+         \ta := make([]int, n)\n\
+         \ta[0] = n\n\
+         \tb := make(map[int]int)\n\
+         \tb[1] = a[0] * 2\n\
+         \tc := make([]int, n/2)\n\
+         \tc[0] = b[1] + 1\n\
+         \tacc := c[0]\n\
+         \ttail := 0\n\
+         \tfor i := 0; i < n*3; i += 1 {{ tail += i % 5 }}\n\
+         \treturn acc + tail\n}}\n\
+         func main() {{ total := 0\n\
+         \tfor r := 0; r < {reps}; r += 1 {{ total += wave(128 + r%32) }}\n\
+         \tprint(total) }}\n"
+    );
+    let deadarg = format!(
+        "func digest(s []int, salt int) int {{ return salt * 17 % 1009 }}\n\
+         func round(n int) int {{\n\
+         \tkey := make([]int, n)\n\
+         \tkey[0] = n % 13\n\
+         \th := key[0] + 1\n\
+         \tacc := digest(key, h)\n\
+         \ttail := 0\n\
+         \tfor i := 0; i < n*4; i += 1 {{ tail += i % 3 }}\n\
+         \treturn acc + tail\n}}\n\
+         func main() {{ total := 0\n\
+         \tfor r := 0; r < {reps}; r += 1 {{ total += round(160 + r%48) }}\n\
+         \tprint(total) }}\n"
+    );
+    vec![
+        ("stage-tail", stage),
+        ("staggered", staggered),
+        ("dead-arg", deadarg),
+    ]
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let cfg = RunConfig {
+        trace: true,
+        ..opts.run_config()
+    };
+    println!("Liveness-driven free placement: scope vs lastuse drag (virtual ticks)\n");
+    println!(
+        "{:<10} {:>5} {:>7} {:>6} {:>7} {:>12} {:>12} {:>7} {:>9}",
+        "workload",
+        "adv",
+        "partial",
+        "suppr",
+        "proof",
+        "scope-drag",
+        "lastuse-drag",
+        "ratio",
+        "regressed"
+    );
+    let mut log_ratios: Vec<f64> = Vec::new();
+    let mut total_regressed = 0usize;
+    let mut last_gofree = None;
+    // The six corpus analogues, plus directed drag-shaped subjects whose
+    // temporaries die well before scope exit — the placement the §4.5
+    // instrumentation cannot express and the PR 5 profiler measured as
+    // lifetime drag. (The corpus analogues consume most temporaries
+    // right up to scope end, so their ratio is expected to sit near
+    // 100%; the headroom lives in stage-structured code like these.)
+    let mut subjects: Vec<(String, String)> = gofree_workloads::all(opts.scale())
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.source))
+        .collect();
+    for (name, src) in drag_subjects(opts.scale()) {
+        subjects.push((name.to_string(), src));
+    }
+    for (wname, wsource) in &subjects {
+        let scope = compile_placed(wsource, FreePlacement::Scope);
+        let lastuse = compile_placed(wsource, FreePlacement::LastUse);
+        let (sr, sp) = run_traced(&scope, &cfg);
+        let (lr, lp) = run_traced(&lastuse, &cfg);
+        assert_eq!(sr.output, lr.output, "{wname}: placement changed output");
+        let p = lastuse.placement.expect("lastuse compile carries stats");
+        let audit = lastuse.audit.as_ref().expect("audit ran");
+        let sd = site_drags(&sp);
+        let ld = site_drags(&lp);
+        // Per-site drag ratios over sites tcfreed under both placements.
+        // +1 smoothing keeps already-zero-drag sites out of the geomean's
+        // way without dropping them.
+        let mut regressed = 0usize;
+        let (mut s_sum, mut l_sum, mut n) = (0.0f64, 0.0f64, 0u32);
+        for (site, s_mean) in &sd {
+            let Some(l_mean) = ld.get(site) else { continue };
+            log_ratios.push(((l_mean + 1.0) / (s_mean + 1.0)).ln());
+            s_sum += s_mean;
+            l_sum += l_mean;
+            n += 1;
+            if l_mean > s_mean {
+                regressed += 1;
+            }
+        }
+        total_regressed += regressed;
+        let (s_mean, l_mean) = if n > 0 {
+            (s_sum / n as f64, l_sum / n as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        println!(
+            "{:<10} {:>5} {:>7} {:>6} {:>7} {:>12.1} {:>12.1} {:>7} {:>9}",
+            wname,
+            p.lastuse_advanced,
+            p.partial_frees,
+            p.suppressed,
+            pct(audit.proof_rate()),
+            s_mean,
+            l_mean,
+            pct((l_mean + 1.0) / (s_mean + 1.0)),
+            regressed,
+        );
+        assert_eq!(p.suppressed, 0, "{wname}: auditor refused a placement");
+        last_gofree = Some((lr, lastuse.phase_times.clone()));
+    }
+    let geomean = if log_ratios.is_empty() {
+        1.0
+    } else {
+        (log_ratios.iter().sum::<f64>() / log_ratios.len() as f64).exp()
+    };
+    println!(
+        "\ngeomean per-site tcfree drag, lastuse/scope (+1-smoothed, {} sites): {}",
+        log_ratios.len(),
+        pct(geomean)
+    );
+    println!("sites where lastuse increased drag: {total_regressed}");
+    println!("outputs matched bit-exactly between placements on every workload.\n");
+
+    // Directed partial-free demonstrations: the §6.5 restriction frees
+    // only slice/map locals whole, so a struct local holding them is
+    // abandoned to the GC. Under lastuse its fields are reclaimed
+    // individually the moment each falls dead.
+    let demos: &[(&str, &str)] = &[
+        (
+            "ptr-struct",
+            "type Sess struct { buf []int\n idx map[int]int }\n\
+             func handle(n int) int {\n\
+             \tx := &Sess{make([]int, n), make(map[int]int)}\n\
+             \tfor i := 0; i < n; i += 1 { x.buf[i] = i }\n\
+             \tt := x.buf[0] + x.buf[n-1]\n\
+             \tx.idx[1] = t\n\
+             \tu := x.idx[1]\n\
+             \ts := 0\n\
+             \tfor i := 0; i < 400; i += 1 { s += i }\n\
+             \treturn t + u + s\n}\n\
+             func main() { total := 0\n\
+             \tfor r := 0; r < 50; r += 1 { total += handle(256) }\n\
+             \tprint(total) }\n",
+        ),
+        (
+            "value-struct",
+            "type Pair struct { a []int\n b []int }\n\
+             func sum(n int) int {\n\
+             \tx := Pair{make([]int, n), make([]int, n)}\n\
+             \tx.a[0] = n\n\
+             \tx.b[0] = n * 2\n\
+             \tt := x.a[0] + x.b[0]\n\
+             \ts := 0\n\
+             \tfor i := 0; i < 400; i += 1 { s += i }\n\
+             \treturn t + s\n}\n\
+             func main() { total := 0\n\
+             \tfor r := 0; r < 50; r += 1 { total += sum(256) }\n\
+             \tprint(total) }\n",
+        ),
+    ];
+    println!("-- partial-free demonstrations --");
+    for (name, src) in demos {
+        let scope = compile_placed(src, FreePlacement::Scope);
+        let lastuse = compile_placed(src, FreePlacement::LastUse);
+        let p = lastuse.placement.expect("stats");
+        let san = RunConfig {
+            sanitize: true,
+            ..cfg.clone()
+        };
+        let (sr, _) = run_traced(&scope, &san);
+        let (lr, _) = run_traced(&lastuse, &san);
+        assert_eq!(sr.output, lr.output, "{name}: placement changed output");
+        assert!(lr.violations.is_empty(), "{name}: sanitizer violations");
+        let partial_lines: Vec<String> = lastuse
+            .instrumented_source()
+            .lines()
+            .filter(|l| l.contains("tcfree("))
+            .map(|l| l.trim().to_string())
+            .collect();
+        println!(
+            "{name}: partial={} advanced={} suppressed={} | tcfreed {} B (scope: {} B) | {}",
+            p.partial_frees,
+            p.lastuse_advanced,
+            p.suppressed,
+            tcfreed_bytes(&lr.metrics),
+            tcfreed_bytes(&sr.metrics),
+            partial_lines.join("; "),
+        );
+        assert!(p.partial_frees > 0, "{name}: no partial frees planned");
+        assert_eq!(p.suppressed, 0, "{name}: auditor refused a partial free");
+    }
+    println!("\nEvery placement above was proved by the free-safety auditor;");
+    println!("sanitized demo runs reported zero shadow-heap violations.");
+    if let Some((report, phases)) = &last_gofree {
+        opts.emit_observability(report, phases);
+    }
+}

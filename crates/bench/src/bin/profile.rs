@@ -26,6 +26,7 @@ fn main() {
     for w in gofree_workloads::all(opts.scale()) {
         println!("== {} ==", w.name);
         let mut garbage = [0u64; 2];
+        let mut scope_profile = None;
         for (i, setting) in [Setting::Go, Setting::GoFree].into_iter().enumerate() {
             let compiled =
                 gofree::compile(&w.source, &setting.compile_options()).expect("compiles");
@@ -73,13 +74,44 @@ fn main() {
                 }
             }
             if setting == Setting::GoFree {
+                scope_profile = Some(profile);
                 last_gofree = Some((report, compiled.phase_times.clone()));
             }
         }
+        let scope_profile = scope_profile.expect("GoFree setting profiled");
         let removed = garbage[0].saturating_sub(garbage[1]);
         println!(
-            "GoFree removed {removed} B of garbage ({} of Go's)\n",
+            "GoFree removed {removed} B of garbage ({} of Go's)",
             pct(removed as f64 / garbage[0].max(1) as f64)
+        );
+        // The remaining alloc→tcfree gap is placement drag; compile once
+        // more under lastuse to show how much of it liveness-driven
+        // placement recovers (the `liveness` binary studies this fully).
+        let lastuse_opts = gofree::CompileOptions {
+            free_placement: gofree::FreePlacement::LastUse,
+            ..Setting::GoFree.compile_options()
+        };
+        let lu = gofree::compile(&w.source, &lastuse_opts).expect("compiles");
+        let lu_report = gofree::execute(&lu, Setting::GoFree, &cfg).expect("runs");
+        let lu_trace = lu_report.trace.as_ref().expect("traced");
+        let lu_profile = Profile::build(lu_trace);
+        lu_profile
+            .reconcile(&lu_report.metrics)
+            .unwrap_or_else(|e| panic!("{}/lastuse: {e}", w.name));
+        let drag = |p: &Profile| {
+            let (ticks, count) = p.sites.iter().fold((0u64, 0u64), |(t, c), d| {
+                (t + d.tcfree_ticks, c + d.tcfree_count)
+            });
+            ticks as f64 / count.max(1) as f64
+        };
+        let (sc, lu_drag) = (drag(&scope_profile), drag(&lu_profile));
+        let stats = lu.placement.expect("lastuse compile carries stats");
+        println!(
+            "lastuse placement: mean tcfree drag {sc:.1} -> {lu_drag:.1} ticks ({}), \
+             advanced {} free(s), {} partial free(s)\n",
+            pct((lu_drag + 1.0) / (sc + 1.0)),
+            stats.lastuse_advanced,
+            stats.partial_frees,
         );
     }
     println!("Every profile above reconciled field-exactly with the run's Metrics.");

@@ -62,6 +62,11 @@ pub struct HarnessOptions {
     /// When set, the binary writes its designated run's report as JSON
     /// (stable field names, `gofree-report/1` schema) to this path.
     pub report_json: Option<String>,
+    /// Where GoFree-compiled workloads place their inserted frees:
+    /// `scope` (§4.5 scope exit, the default) or `lastuse`
+    /// (liveness-driven advancement plus partial frees). The `liveness`
+    /// binary compares both regardless of this setting.
+    pub free_placement: gofree::FreePlacement,
 }
 
 impl Default for HarnessOptions {
@@ -77,6 +82,7 @@ impl Default for HarnessOptions {
             profile: None,
             gctrace: false,
             report_json: None,
+            free_placement: gofree::FreePlacement::Scope,
         }
     }
 }
@@ -130,6 +136,15 @@ impl HarnessOptions {
                     }
                 }
                 "--gctrace" => opts.gctrace = true,
+                "--free-placement" => {
+                    if let Some(p) = args
+                        .next()
+                        .as_deref()
+                        .and_then(gofree::FreePlacement::parse)
+                    {
+                        opts.free_placement = p;
+                    }
+                }
                 "--report-json" => {
                     if let Some(path) = args.next() {
                         opts.report_json = Some(path);
@@ -145,6 +160,7 @@ impl HarnessOptions {
                          --trace PATH (export a run's event trace as Chrome JSON), \
                          --profile PATH (stack-attributed allocation profile + PATH.folded), \
                          --gctrace (per-GC-cycle pacing log on stderr), \
+                         --free-placement scope|lastuse (default scope), \
                          --report-json PATH (run report as JSON)"
                     );
                     std::process::exit(0);
@@ -180,6 +196,15 @@ impl HarnessOptions {
     /// True when any observability flag needs the runtime event trace.
     pub fn observing(&self) -> bool {
         self.trace.is_some() || self.profile.is_some() || self.gctrace
+    }
+
+    /// The compiler options for `setting`, carrying this harness's
+    /// `--free-placement` selection (plain-Go settings ignore it).
+    pub fn compile_options(&self, setting: Setting) -> gofree::CompileOptions {
+        gofree::CompileOptions {
+            free_placement: self.free_placement,
+            ..setting.compile_options()
+        }
     }
 
     /// Exports a traced report's event stream to the `--trace` path as
@@ -266,7 +291,7 @@ impl HarnessOptions {
             return;
         }
         let w = gofree_workloads::by_name(name, self.scale()).expect("workload exists");
-        let compiled = gofree::compile(&w.source, &Setting::GoFree.compile_options())
+        let compiled = gofree::compile(&w.source, &self.compile_options(Setting::GoFree))
             .expect("workload compiles");
         let report =
             gofree::execute(&compiled, Setting::GoFree, &self.run_config()).expect("workload runs");
@@ -313,10 +338,33 @@ pub fn run_three_settings(
     Vec<gofree::Report>,
     Vec<gofree::Report>,
 ) {
+    run_three_settings_placed(source, runs, base, gofree::FreePlacement::Scope)
+}
+
+/// [`run_three_settings`] with an explicit free-placement mode for the
+/// GoFree setting (the plain-Go settings have no frees to place).
+///
+/// # Panics
+///
+/// Panics if compilation or any run fails.
+pub fn run_three_settings_placed(
+    source: &str,
+    runs: u64,
+    base: &RunConfig,
+    placement: gofree::FreePlacement,
+) -> (
+    Vec<gofree::Report>,
+    Vec<gofree::Report>,
+    Vec<gofree::Report>,
+) {
     let compiled: Vec<(Compiled, Setting)> = Setting::all()
         .into_iter()
         .map(|setting| {
-            let c = gofree::compile(source, &setting.compile_options()).expect("workload compiles");
+            let opts = gofree::CompileOptions {
+                free_placement: placement,
+                ..setting.compile_options()
+            };
+            let c = gofree::compile(source, &opts).expect("workload compiles");
             (c, setting)
         })
         .collect();

@@ -4,10 +4,10 @@
 //!
 //! ```text
 //! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--collector go|gen]
-//!            [--opt off|full] [--audit MODE] [--sanitize] [--explain]
-//!            [--trace PATH] [--profile PATH] [--gctrace]
-//!            [--report-json PATH] [--trace-cap N] <file>
-//! minigo build [--go] [--audit MODE] [--explain] <file>
+//!            [--opt off|full] [--audit MODE] [--free-placement MODE]
+//!            [--sanitize] [--explain] [--trace PATH] [--profile PATH]
+//!            [--gctrace] [--report-json PATH] [--trace-cap N] <file>
+//! minigo build [--go] [--audit MODE] [--free-placement MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
 //! minigo profile <file>                 # top allocation sites
@@ -15,7 +15,11 @@
 //!
 //! `--audit {off,warn,deny}` runs the independent free-safety auditor
 //! over the instrumented program; `deny` strips unproven frees before
-//! execution. `--sanitize` runs the shadow-heap oracle and fails the
+//! execution. `--free-placement {scope,lastuse}` selects where inserted
+//! frees land: `scope` (the default) frees at scope exit (§4.5,
+//! bit-exact historical behavior), `lastuse` advances each free to just
+//! after the variable's last use and adds partial frees (`tcfree(x.f)`)
+//! for abandoned struct locals. `--sanitize` runs the shadow-heap oracle and fails the
 //! command on any violation. `--explain` prints Go `-m`-style per-site
 //! allocation and free decisions. `--trace PATH` records the runtime
 //! event stream, writes it as Chrome `trace_event` JSON to PATH, prints
@@ -39,7 +43,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use gofree::{compile, execute, AuditMode, CompileOptions, RunConfig, Setting};
+use gofree::{compile, execute, AuditMode, CompileOptions, FreePlacement, RunConfig, Setting};
 use minigo_syntax::{Block, Expr, ExprId, ExprKind, Span, Stmt, StmtKind};
 
 fn main() -> ExitCode {
@@ -60,6 +64,7 @@ struct Cli {
     jobs: usize,
     runs: u64,
     audit: AuditMode,
+    free_placement: FreePlacement,
     collector: gofree::CollectorKind,
     opt: gofree::OptLevel,
     sanitize: bool,
@@ -81,6 +86,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         jobs: gofree::default_jobs(),
         runs: 1,
         audit: AuditMode::Off,
+        free_placement: FreePlacement::Scope,
         collector: gofree::CollectorKind::default(),
         opt: gofree::OptLevel::default(),
         sanitize: false,
@@ -124,6 +130,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .ok_or("--audit needs off, warn, or deny")?
                     .parse()?;
+            }
+            "--free-placement" => {
+                cli.free_placement = FreePlacement::parse(
+                    it.next().ok_or("--free-placement needs scope or lastuse")?,
+                )
+                .ok_or("--free-placement needs scope or lastuse")?;
             }
             "--collector" => {
                 cli.collector = it.next().ok_or("--collector needs go or gen")?.parse()?;
@@ -186,6 +198,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         };
         CompileOptions {
             audit: cli.audit,
+            free_placement: cli.free_placement,
             ..base
         }
     };
@@ -198,6 +211,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 explain_sites(&compiled, &src);
             }
             report_audit(&compiled, &src);
+            report_placement(&compiled);
             let setting = match (cli.go_mode, cli.gcoff) {
                 (_, true) => Setting::GoGcOff,
                 (true, false) => Setting::Go,
@@ -328,6 +342,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 explain_sites(&compiled, &src);
             }
             report_audit(&compiled, &src);
+            report_placement(&compiled);
             print!("{}", compiled.instrumented_source());
             Ok(())
         }
@@ -393,9 +408,24 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
      [--runs N] [--jobs N] [--collector go|gen] [--opt off|full] [--audit off|warn|deny] \
-     [--sanitize] [--explain] [--trace PATH] [--profile PATH] [--gctrace] \
-     [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
+     [--free-placement scope|lastuse] [--sanitize] [--explain] [--trace PATH] \
+     [--profile PATH] [--gctrace] [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
         .to_string()
+}
+
+/// Prints the liveness placement counters (when the program was compiled
+/// with `--free-placement lastuse`) to stderr.
+fn report_placement(compiled: &gofree::Compiled) {
+    let Some(p) = &compiled.placement else {
+        return;
+    };
+    eprintln!(
+        "[placement] mode={} advanced={} partial={} suppressed={}",
+        p.mode.name(),
+        p.lastuse_advanced,
+        p.partial_frees,
+        p.suppressed,
+    );
 }
 
 /// Prints the free-safety audit report (when auditing ran) to stderr:

@@ -289,9 +289,11 @@ pub fn execute(
             r
         }
     };
-    // A compile-time fact, copied into every run's metrics so audited
-    // builds report how much reclamation `--audit deny` gave up.
+    // Compile-time facts, copied into every run's report so audited
+    // builds report how much reclamation `--audit deny` gave up and
+    // liveness builds report their placement counters.
     report.metrics.frees_suppressed = compiled.frees_suppressed;
+    report.placement = compiled.placement;
     Ok(report)
 }
 

@@ -46,7 +46,10 @@ pub use stats::{mean, stdev, welch_t_test, Welch};
 pub use trace::{chrome_trace_json, timeline_table};
 
 // Re-export the pieces callers commonly need alongside the facade.
-pub use minigo_escape::{AuditMode, AuditReport, AuditSite, AuditVerdict, FreeTargets, Mode};
+pub use minigo_escape::{
+    AuditMode, AuditReport, AuditSite, AuditVerdict, FreePlacement, FreeTargets, Mode,
+    PlacementStats,
+};
 pub use minigo_runtime::{
     Category, CollectorKind, ConfigError, CycleKind, FreeSource, HeapSnapshot, PoisonMode, Profile,
     ShadowViolation, StackStat, StackTable, Trace, TraceEvent, ViolationKind,

@@ -1,8 +1,9 @@
 //! The compile pipeline: front end → escape analysis → instrumentation.
 
 use minigo_escape::{
-    analyze, audit, inline_program, instrument, strip_unproven, Analysis, AnalyzeOptions,
-    AuditMode, AuditReport, FreeTargets, InlineOptions, Mode,
+    analyze, audit, inline_program, instrument, instrument_with_plan, plan_placement,
+    strip_unproven, Analysis, AnalyzeOptions, AuditMode, AuditReport, FreePlacement, FreeTargets,
+    InlineOptions, Mode, PlacementStats,
 };
 use minigo_syntax::{
     parse, print_program, resolve, typecheck, Diagnostic, Program, Resolution, TypeInfo,
@@ -29,6 +30,10 @@ pub struct CompileOptions {
     /// unproven frees (report only); `Deny` strips them from the program
     /// before lowering.
     pub audit: AuditMode,
+    /// Where inserted frees land: `Scope` (§4.5 scope exit, bit-exact
+    /// historical behavior) or `LastUse` (liveness-driven advancement
+    /// plus partial frees for abandoned struct locals).
+    pub free_placement: FreePlacement,
 }
 
 impl Default for CompileOptions {
@@ -40,6 +45,7 @@ impl Default for CompileOptions {
             back_propagation: true,
             inline: false,
             audit: AuditMode::Off,
+            free_placement: FreePlacement::Scope,
         }
     }
 }
@@ -104,6 +110,10 @@ pub struct Compiled {
     /// Free sites stripped under [`AuditMode::Deny`] (copied into every
     /// run's [`minigo_runtime::Metrics::frees_suppressed`]).
     pub frees_suppressed: u64,
+    /// Liveness placement counters, present when the program was
+    /// compiled under [`FreePlacement::LastUse`]; `suppressed` counts
+    /// the auditor's unproven verdicts over the planned program.
+    pub placement: Option<PlacementStats>,
     /// Per-phase wall-clock compile timings, in pipeline order (the
     /// escape analysis contributes its `escape-solve` and `free-select`
     /// sub-phases).
@@ -143,20 +153,37 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
     let mut resolution = resolve(&program)?;
     timed("resolve", t.elapsed().as_nanos());
     let t = std::time::Instant::now();
-    let types = typecheck(&program, &resolution)?;
+    let mut types = typecheck(&program, &resolution)?;
     timed("typecheck", t.elapsed().as_nanos());
     let analysis = analyze(&program, &resolution, &types, &opts.to_analyze_options());
     // The analysis times its own sub-phases: the escape solve proper and
     // the completeness/lifetime free-variable selection.
     timed("escape-solve", analysis.stats.solve_nanos);
     timed("free-select", analysis.stats.select_nanos);
-    let t = std::time::Instant::now();
+    // Liveness-driven placement plans *before* instrumentation; scope
+    // mode never builds a plan, preserving bit-exact historical output.
+    let mut placement: Option<PlacementStats> = None;
     let mut program = if opts.mode == Mode::GoFree {
-        instrument(&program, &mut resolution, &analysis)
+        if opts.free_placement == FreePlacement::LastUse {
+            let t = std::time::Instant::now();
+            let plan = plan_placement(&program, &resolution, &types, &analysis);
+            timed("liveness", t.elapsed().as_nanos());
+            placement = Some(plan.stats);
+            let t = std::time::Instant::now();
+            let p = instrument_with_plan(&program, &mut resolution, &mut types, &analysis, &plan);
+            timed("instrument", t.elapsed().as_nanos());
+            p
+        } else {
+            let t = std::time::Instant::now();
+            let p = instrument(&program, &mut resolution, &analysis);
+            timed("instrument", t.elapsed().as_nanos());
+            p
+        }
     } else {
+        let t = std::time::Instant::now();
+        timed("instrument", t.elapsed().as_nanos());
         program
     };
-    timed("instrument", t.elapsed().as_nanos());
     // The audit is an independent second pass: it sees only the
     // instrumented AST, never the escape graph that justified the frees.
     let mut report = None;
@@ -168,6 +195,11 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
             let (stripped, removed) = strip_unproven(&program, &r);
             program = stripped;
             frees_suppressed = removed;
+        }
+        if let Some(p) = placement.as_mut() {
+            // Placements the independent prover refused — stripped under
+            // deny, kept-but-flagged under warn.
+            p.suppressed = r.unproven().count() as u64;
         }
         report = Some(r);
         timed("audit", t.elapsed().as_nanos());
@@ -188,6 +220,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Diagnostic>
         opt_stats,
         audit: report,
         frees_suppressed,
+        placement,
         phase_times,
     })
 }

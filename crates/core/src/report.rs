@@ -22,7 +22,12 @@ use minigo_runtime::Metrics;
 /// optimizer tier: top-level `"ic_hits"`/`"ic_misses"` counters and an
 /// `"opt"` object with the per-pass rewrite counters (`null` when the
 /// run executed an unoptimized stream). Every v2 field is unchanged.
-pub const REPORT_SCHEMA: &str = "gofree-report/3";
+/// `gofree-report/4` is v3 plus liveness-driven free placement: a
+/// top-level `"placement"` object (`{"mode","lastuse_advanced",
+/// "partial_frees","suppressed"}`, `null` unless the program was
+/// compiled with `--free-placement lastuse`). Every v3 field is
+/// unchanged.
+pub const REPORT_SCHEMA: &str = "gofree-report/4";
 
 fn u64_array(values: &[u64]) -> String {
     let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -107,10 +112,21 @@ pub fn report_json(report: &Report) -> String {
         ),
         None => "null".to_string(),
     };
+    let placement = match &report.placement {
+        Some(p) => format!(
+            "{{\"mode\":\"{}\",\"lastuse_advanced\":{},\"partial_frees\":{},\
+             \"suppressed\":{}}}",
+            p.mode.name(),
+            p.lastuse_advanced,
+            p.partial_frees,
+            p.suppressed,
+        ),
+        None => "null".to_string(),
+    };
     let _ = write!(
         out,
         "\"violations\":{},\"trace_events\":{trace_events},\"events_dropped\":{events_dropped},\
-         \"ic_hits\":{},\"ic_misses\":{},\"opt\":{opt}}}",
+         \"ic_hits\":{},\"ic_misses\":{},\"opt\":{opt},\"placement\":{placement}}}",
         report.violations.len(),
         report.ic_hits,
         report.ic_misses,
@@ -164,11 +180,17 @@ mod tests {
                 fusions: 6,
                 ..minigo_vm::OptStats::default()
             }),
+            placement: Some(minigo_escape::PlacementStats {
+                mode: minigo_escape::FreePlacement::LastUse,
+                lastuse_advanced: 5,
+                partial_frees: 2,
+                suppressed: 1,
+            }),
         };
         let json = report_json(&report);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for needle in [
-            "\"schema\":\"gofree-report/3\"",
+            "\"schema\":\"gofree-report/4\"",
             "\"collector\":\"go\"",
             "\"output\":\"hi \\\"there\\\"\\n\"",
             "\"alloced_bytes\":1024",
@@ -181,6 +203,7 @@ mod tests {
             "\"ic_misses\":2",
             "\"opt\":{\"instrs_before\":100,\"instrs_after\":80",
             "\"fusions\":6",
+            "\"placement\":{\"mode\":\"lastuse\",\"lastuse_advanced\":5,\"partial_frees\":2,\"suppressed\":1}",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -56,6 +56,13 @@ impl TypeInfo {
         ty.contains_pointers(&resolve)
     }
 
+    /// Records a type for a synthesized expression. GoFree's partial-free
+    /// instrumentation calls this for the `tcfree(x.f)` field projections
+    /// it inserts, so both VM engines can resolve the field's struct.
+    pub fn record_expr_type(&mut self, id: ExprId, ty: Type) {
+        self.expr_ty.insert(id, ty);
+    }
+
     /// Inline size of `ty` in bytes; resolves struct names via this table.
     pub fn inline_size(&self, ty: &Type) -> u64 {
         let resolve = |name: &str| {

@@ -69,6 +69,7 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
         ic_hits: vm.ic_hits,
         ic_misses: vm.ic_misses,
         opt: None,
+        placement: None,
     })
 }
 

@@ -114,6 +114,11 @@ pub struct RunOutcome {
     /// selected an optimized stream fills it in (so it is `None` on the
     /// tree-walk and at `--opt off`).
     pub opt: Option<crate::bytecode::OptStats>,
+    /// Liveness free-placement counters for the compiled program this
+    /// run executed. Like `opt`, the VM leaves this `None`; the driver
+    /// copies it from the compile so both engines report identically
+    /// (it is `None` in `--free-placement scope` and plain-Go runs).
+    pub placement: Option<minigo_escape::PlacementStats>,
 }
 
 /// The id type used for profile attribution (an expression id).
@@ -176,6 +181,7 @@ pub fn run(
         ic_hits: 0,
         ic_misses: 0,
         opt: None,
+        placement: None,
     })
 }
 

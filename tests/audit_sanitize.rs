@@ -20,7 +20,7 @@
 
 use gofree::{
     compile, execute, run_distribution, AuditMode, CollectorKind, CompileOptions, Compiled,
-    RunConfig, Setting, ViolationKind, VmEngine,
+    FreePlacement, RunConfig, Setting, ViolationKind, VmEngine,
 };
 use gofree_workloads::{corpus, fuzzgen, Scale};
 
@@ -289,6 +289,112 @@ fn nursery_reuse_plant_is_caught_by_the_shadow_heap() {
         flagged.push(run.violations);
     }
     assert_eq!(flagged[0], flagged[1], "engines agree on the violations");
+}
+
+#[test]
+fn lastuse_corpus_under_deny_is_sanitizer_clean_everywhere() {
+    // The liveness-placement analogue of the soundness gate: compile the
+    // whole corpus with `--free-placement lastuse --audit deny` (every
+    // advanced and partial free either proved or stripped) and sweep the
+    // shadow heap on both engines under both collectors.
+    for (label, src) in corpus_sources() {
+        let opts = CompileOptions {
+            audit: AuditMode::Deny,
+            free_placement: FreePlacement::LastUse,
+            ..CompileOptions::default()
+        };
+        let compiled =
+            compile(&src, &opts).unwrap_or_else(|e| panic!("{label}: {}", e.render(&src)));
+        for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+            for collector in CollectorKind::all() {
+                let cfg = RunConfig {
+                    engine,
+                    sanitize: true,
+                    collector,
+                    nursery_size: 16 * 1024,
+                    ..RunConfig::deterministic(7)
+                };
+                let Ok(run) = execute(&compiled, Setting::GoFree, &cfg) else {
+                    continue; // fuzzed programs may fail (bounds, nil) — not a gate
+                };
+                assert!(
+                    run.violations.is_empty(),
+                    "{label} ({engine}, {collector}): lastuse+deny run must be \
+                     sanitizer-clean, found {:?}",
+                    run.violations
+                );
+            }
+        }
+    }
+}
+
+/// The lastuse plant: the same premature hand-written free as
+/// [`PLANTED_BUG`], but compiled through the liveness-placement pipeline
+/// (plan → instrument-with-plan) — a stand-in for a planner bug that
+/// advances a free past a live use.
+#[test]
+fn planted_premature_free_under_lastuse_is_caught_and_denied() {
+    let warn = compile(
+        PLANTED_BUG,
+        &CompileOptions {
+            audit: AuditMode::Warn,
+            free_placement: FreePlacement::LastUse,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    let report = warn.audit.as_ref().expect("audit ran");
+    assert!(
+        report.unproven().count() >= 1,
+        "auditor must reject the premature free under lastuse"
+    );
+    let stats = warn.placement.expect("lastuse carries stats");
+    assert_eq!(
+        stats.suppressed as usize,
+        report.unproven().count(),
+        "suppressed counter mirrors the audit"
+    );
+    let mut flagged = Vec::new();
+    for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+        let cfg = RunConfig {
+            engine,
+            sanitize: true,
+            ..RunConfig::deterministic(0)
+        };
+        let run = execute(&warn, Setting::GoFree, &cfg).expect("runs to completion");
+        assert!(
+            !run.violations.is_empty(),
+            "{engine}: sanitizer missed the planted use-after-free under lastuse"
+        );
+        assert_eq!(run.violations[0].kind, ViolationKind::UseAfterFree);
+        flagged.push(run.violations);
+    }
+    assert_eq!(flagged[0], flagged[1], "engines agree on the violations");
+
+    // `--audit deny` neutralizes the plant on both engines.
+    let denied = compile(
+        PLANTED_BUG,
+        &CompileOptions {
+            audit: AuditMode::Deny,
+            free_placement: FreePlacement::LastUse,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    assert!(denied.frees_suppressed >= 1, "deny stripped the bad free");
+    for engine in [VmEngine::TreeWalk, VmEngine::Bytecode] {
+        let cfg = RunConfig {
+            engine,
+            sanitize: true,
+            ..RunConfig::deterministic(0)
+        };
+        let run = execute(&denied, Setting::GoFree, &cfg).expect("runs");
+        assert_eq!(run.output, "7\n");
+        assert!(
+            run.violations.is_empty(),
+            "{engine}: stripped lastuse program must be sanitizer-clean"
+        );
+    }
 }
 
 #[test]
