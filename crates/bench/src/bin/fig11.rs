@@ -1,7 +1,7 @@
 //! Regenerates fig. 11: the run-time distribution across N runs under the
 //! three settings (GoFree, Go, Go-GCOff), shown as a text histogram.
 
-use gofree::{distribution, Setting};
+use gofree::{distribution, Histogram, Setting};
 use gofree_bench::{run_three_settings, HarnessOptions};
 
 fn main() {
@@ -23,36 +23,24 @@ fn main() {
         .iter()
         .map(|d| d.max)
         .fold(f64::NEG_INFINITY, f64::max);
-    let bins = 24usize;
-    let width = ((hi - lo) / bins as f64).max(1.0);
 
+    // One shared log₂ histogram per setting over each sample's distance
+    // from the global minimum (the spread is what fig. 11 shows, and the
+    // offset keeps tightly-clustered run times out of a single bucket).
     for d in &dists {
         println!(
             "{:<8} mean {:>12.0}  stdev {:>9.0}  min {:>12.0}  max {:>12.0}",
             d.label, d.mean, d.stdev, d.min, d.max
         );
-        let mut hist = vec![0usize; bins];
+        let mut hist: Histogram<64> = Histogram::new();
         for &s in &d.samples {
-            let b = (((s - lo) / width) as usize).min(bins - 1);
-            hist[b] += 1;
+            hist.record((s - lo) as u64);
         }
-        let peak = hist.iter().copied().max().unwrap_or(1).max(1);
-        print!("         |");
-        for h in &hist {
-            let ch = match (h * 8) / peak {
-                0 if *h == 0 => ' ',
-                0 => '.',
-                1 => ':',
-                2 | 3 => '+',
-                4 | 5 => '#',
-                _ => '@',
-            };
-            print!("{ch}");
-        }
-        println!("|");
+        println!("         |{}|", hist.spark());
     }
     println!(
-        "\n(ticks {lo:.0}..{hi:.0}; expected shape: GCOff fastest, GoFree between GCOff and Go, Go slowest)"
+        "\n(ticks {lo:.0}..{hi:.0}, log2-bucketed offset from the fastest run; \
+         expected shape: GCOff fastest, GoFree between GCOff and Go, Go slowest)"
     );
     let mean = |d: &gofree::Distribution| d.mean;
     if mean(&dists[2]) <= mean(&dists[0]) && mean(&dists[0]) <= mean(&dists[1]) {

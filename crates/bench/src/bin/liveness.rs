@@ -33,7 +33,7 @@ fn site_drags(profile: &Profile) -> HashMap<u32, f64> {
         .iter()
         .filter_map(|d| {
             let site = d.site?;
-            (d.tcfree_count > 0).then(|| (site, d.tcfree_ticks as f64 / d.tcfree_count as f64))
+            (d.tcfree.count() > 0).then(|| (site, d.tcfree.sum() as f64 / d.tcfree.count() as f64))
         })
         .collect()
 }

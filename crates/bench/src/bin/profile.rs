@@ -100,7 +100,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("{}/lastuse: {e}", w.name));
         let drag = |p: &Profile| {
             let (ticks, count) = p.sites.iter().fold((0u64, 0u64), |(t, c), d| {
-                (t + d.tcfree_ticks, c + d.tcfree_count)
+                (t + d.tcfree.sum(), c + d.tcfree.count())
             });
             ticks as f64 / count.max(1) as f64
         };

@@ -6,7 +6,8 @@
 //! minigo run [--go] [--gcoff] [--seed N] [--jobs N] [--collector go|gen]
 //!            [--opt off|full] [--audit MODE] [--free-placement MODE]
 //!            [--sanitize] [--explain] [--trace PATH] [--profile PATH]
-//!            [--gctrace] [--report-json PATH] [--trace-cap N] <file>
+//!            [--gctrace] [--report-json PATH] [--trace-cap N]
+//!            [--service [--requests N] [--rps N] [--arrival SHAPE]] <file>
 //! minigo build [--go] [--audit MODE] [--free-placement MODE] [--explain] <file>
 //! minigo analyze [--func NAME] <file>   # escape properties + decisions
 //! minigo dot --func NAME <file>         # escape graph as Graphviz DOT
@@ -38,7 +39,13 @@
 //! `GODEBUG=gctrace=1`-style pacing line per GC cycle to stderr, tagged
 //! with the backend and cycle kind, plus a final minor/major summary. `--report-json PATH` writes the run report as JSON
 //! with stable field names. `--trace-cap N` bounds the in-memory event
-//! buffer; a truncated trace fails reconciliation loudly.
+//! buffer; a truncated trace fails reconciliation loudly. `--service`
+//! switches `run` to the open-loop traffic harness: instead of calling
+//! `main`, the file's `setup()` builds persistent state and
+//! `handle(state, req)` executes `--requests N` requests arriving at
+//! `--rps N` with the `--arrival {fixed,poisson,burst}` shape; the
+//! summary reports exact latency percentiles, minor/major GC pause
+//! histograms, and heap high-water marks.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -66,6 +73,7 @@ struct Cli {
     audit: AuditMode,
     free_placement: FreePlacement,
     collector: gofree::CollectorKind,
+    engine: gofree::VmEngine,
     opt: gofree::OptLevel,
     sanitize: bool,
     explain: bool,
@@ -75,6 +83,10 @@ struct Cli {
     report_json: Option<String>,
     trace_cap: Option<usize>,
     func: Option<String>,
+    service: bool,
+    requests: usize,
+    rps: u64,
+    arrival: gofree::Arrival,
     file: Option<String>,
 }
 
@@ -88,6 +100,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         audit: AuditMode::Off,
         free_placement: FreePlacement::Scope,
         collector: gofree::CollectorKind::default(),
+        engine: gofree::VmEngine::default(),
         opt: gofree::OptLevel::default(),
         sanitize: false,
         explain: false,
@@ -97,6 +110,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         report_json: None,
         trace_cap: None,
         func: None,
+        service: false,
+        requests: gofree::ServiceConfig::default().requests,
+        rps: gofree::ServiceConfig::default().rps,
+        arrival: gofree::Arrival::Fixed,
         file: None,
     };
     let mut it = args.iter();
@@ -140,6 +157,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--collector" => {
                 cli.collector = it.next().ok_or("--collector needs go or gen")?.parse()?;
             }
+            "--engine" => {
+                cli.engine = it
+                    .next()
+                    .ok_or("--engine needs tree-walk or bytecode")?
+                    .parse()?;
+            }
             "--opt" => {
                 cli.opt = it.next().ok_or("--opt needs off or full")?.parse()?;
             }
@@ -168,6 +191,27 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--func" => {
                 cli.func = Some(it.next().ok_or("--func needs a name")?.clone());
+            }
+            "--service" => cli.service = true,
+            "--requests" => {
+                cli.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--requests needs a positive number")?;
+            }
+            "--rps" => {
+                cli.rps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--rps needs a positive number")?;
+            }
+            "--arrival" => {
+                cli.arrival = it
+                    .next()
+                    .ok_or("--arrival needs fixed, poisson, or burst")?
+                    .parse()?;
             }
             other if !other.starts_with('-') => {
                 if cli.file.is_some() {
@@ -221,12 +265,16 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 seed: cli.seed,
                 jobs: cli.jobs,
                 collector: cli.collector,
+                engine: cli.engine,
                 opt: cli.opt,
                 sanitize: cli.sanitize,
                 trace: cli.trace.is_some() || cli.profile.is_some() || cli.gctrace,
                 trace_cap: cli.trace_cap,
                 ..RunConfig::default()
             };
+            if cli.service {
+                return run_service_mode(&cli, &compiled, setting, &cfg, &src);
+            }
             // `--runs N` executes a seeded distribution (fanned across
             // `--jobs`/GOFREE_JOBS workers); the report of run 0 is
             // printed either way, so output is runs/jobs-invariant.
@@ -407,10 +455,81 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: minigo <run|build|analyze|dot|explain|profile> [--go] [--gcoff] [--seed N] \
-     [--runs N] [--jobs N] [--collector go|gen] [--opt off|full] [--audit off|warn|deny] \
+     [--runs N] [--jobs N] [--collector go|gen] [--engine tree-walk|bytecode] \
+     [--opt off|full] [--audit off|warn|deny] \
      [--free-placement scope|lastuse] [--sanitize] [--explain] [--trace PATH] \
-     [--profile PATH] [--gctrace] [--report-json PATH] [--trace-cap N] [--func NAME] <file>"
+     [--profile PATH] [--gctrace] [--report-json PATH] [--trace-cap N] [--func NAME] \
+     [--service [--requests N] [--rps N] [--arrival fixed|poisson|burst]] <file>"
         .to_string()
+}
+
+/// `minigo run --service`: drives the file's `setup`/`handle` contract
+/// through the open-loop traffic harness instead of calling `main`.
+/// Prints the latency/pause summary to stdout; `--trace`, `--gctrace`,
+/// and `--report-json` observe the service run (request spans in the
+/// chrome export, pause/latency rows after the pacing log, a
+/// `"service"` section in the JSON report).
+fn run_service_mode(
+    cli: &Cli,
+    compiled: &gofree::Compiled,
+    setting: Setting,
+    cfg: &RunConfig,
+    _src: &str,
+) -> Result<(), String> {
+    let svc = gofree::ServiceConfig {
+        requests: cli.requests,
+        rps: cli.rps,
+        arrival: cli.arrival,
+    };
+    let r = gofree::run_service(compiled, setting, cfg, &svc).map_err(|e| e.to_string())?;
+    print!("{}", r.report.output);
+    println!(
+        "[{setting}] service: {} arrivals at {} rps over {} requests",
+        svc.arrival, svc.rps, svc.requests
+    );
+    print!("{}", gofree::service_summary(&r.stats));
+    if cfg.trace {
+        let trace = r
+            .report
+            .trace
+            .as_ref()
+            .ok_or("internal error: traced run produced no trace")?;
+        trace
+            .reconcile(&r.report.metrics)
+            .map_err(|e| format!("[trace] {e}"))?;
+        if let Some(path) = &cli.trace {
+            let json = gofree::chrome_trace_json(trace, &compiled.phase_times);
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "[trace] {} events (incl. request spans) reconciled with metrics; wrote {path}",
+                trace.events.len()
+            );
+        }
+        if cli.gctrace {
+            for line in gofree::gctrace_lines(trace) {
+                eprintln!("{line}");
+            }
+            eprint!("{}", gofree::service_gctrace_lines(&r.stats));
+        }
+    }
+    if let Some(path) = &cli.report_json {
+        let json = gofree::service_report_json(&r.report, Some(&r.stats));
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[report] wrote {path}");
+    }
+    if cli.sanitize {
+        if !r.report.violations.is_empty() {
+            for v in &r.report.violations {
+                eprintln!("[sanitize] {v}");
+            }
+            return Err(format!(
+                "sanitizer reported {} violation(s)",
+                r.report.violations.len()
+            ));
+        }
+        eprintln!("[sanitize] clean: no violations");
+    }
+    Ok(())
 }
 
 /// Prints the liveness placement counters (when the program was compiled

@@ -26,6 +26,7 @@ pub mod experiment;
 pub mod pipeline;
 pub mod profile;
 pub mod report;
+pub mod service;
 pub mod stats;
 pub mod trace;
 
@@ -41,7 +42,11 @@ pub use pipeline::{compile, CompileOptions, Compiled, PhaseTime};
 pub use profile::{
     drag_table, folded_stacks, gctrace_lines, heap_snapshot_table, profile_report, FoldedMetric,
 };
-pub use report::{report_json, reports_json, REPORT_SCHEMA};
+pub use report::{report_json, reports_json, service_report_json, REPORT_SCHEMA};
+pub use service::{
+    run_service, service_gctrace_lines, service_summary, Arrival, Quantiles, ServiceConfig,
+    ServiceReport, ServiceStats, SERVICE_BUCKETS, TICKS_PER_SEC,
+};
 pub use stats::{mean, stdev, welch_t_test, Welch};
 pub use trace::{chrome_trace_json, timeline_table};
 
@@ -51,7 +56,8 @@ pub use minigo_escape::{
     PlacementStats,
 };
 pub use minigo_runtime::{
-    Category, CollectorKind, ConfigError, CycleKind, FreeSource, HeapSnapshot, PoisonMode, Profile,
-    ShadowViolation, StackStat, StackTable, Trace, TraceEvent, ViolationKind,
+    percentile_sorted, Category, CollectorKind, ConfigError, CycleKind, FreeSource, HeapSnapshot,
+    Histogram, Pause, PoisonMode, Profile, ShadowViolation, StackStat, StackTable, Trace,
+    TraceEvent, ViolationKind,
 };
 pub use minigo_vm::{ExecError, OptStats, SiteProfile};

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use minigo_runtime::{Profile, SiteDrag, StackStat, StackTable, Trace, TraceEvent, DRAG_BUCKETS};
+use minigo_runtime::{Profile, SiteDrag, StackStat, StackTable, Trace, TraceEvent};
 
 /// Which per-stack figure a folded-stack export weights lines by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,24 +103,6 @@ fn mean(ticks: u64, count: u64) -> String {
     }
 }
 
-/// An ASCII log₂ histogram of the drag buckets (one digit per bucket,
-/// `.` for empty; trailing empty buckets trimmed).
-fn drag_spark(buckets: &[u64; DRAG_BUCKETS]) -> String {
-    let last = buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
-    let max = buckets.iter().copied().max().unwrap_or(0).max(1);
-    buckets[..last]
-        .iter()
-        .map(|&n| {
-            if n == 0 {
-                '.'
-            } else {
-                // 1..=9 scaled to the row max.
-                char::from_digit(((n * 9).div_ceil(max) as u32).clamp(1, 9), 10).unwrap()
-            }
-        })
-        .collect()
-}
-
 /// Renders the per-site lifetime-drag table: for each allocation site,
 /// how long its objects lived from allocation to `tcfree` versus from
 /// allocation to GC sweep (virtual ticks, mean + log₂ histogram — the
@@ -143,12 +125,12 @@ pub fn drag_table(sites: &[SiteDrag], labels: &HashMap<u32, String>) -> String {
         let _ = writeln!(
             out,
             "{:>8} {:>10} {:<16} {:>8} {:>10} {:<16}  {}",
-            d.tcfree_count,
-            mean(d.tcfree_ticks, d.tcfree_count),
-            drag_spark(&d.tcfree),
-            d.sweep_count,
-            mean(d.sweep_ticks, d.sweep_count),
-            drag_spark(&d.sweep),
+            d.tcfree.count(),
+            mean(d.tcfree.sum(), d.tcfree.count()),
+            d.tcfree.spark(),
+            d.sweep.count(),
+            mean(d.sweep.sum(), d.sweep.count()),
+            d.sweep.spark(),
             label
         );
     }

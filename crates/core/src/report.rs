@@ -26,8 +26,12 @@ use minigo_runtime::Metrics;
 /// top-level `"placement"` object (`{"mode","lastuse_advanced",
 /// "partial_frees","suppressed"}`, `null` unless the program was
 /// compiled with `--free-placement lastuse`). Every v3 field is
-/// unchanged.
-pub const REPORT_SCHEMA: &str = "gofree-report/4";
+/// unchanged. `gofree-report/5` is v4 plus the service-mode traffic
+/// harness: a top-level `"service"` object (`null` for batch runs) with
+/// request counts, exact latency/queue quantiles, log₂ latency and
+/// minor/major GC-pause histogram buckets, and the heap high-water
+/// marks. Every v4 field is unchanged.
+pub const REPORT_SCHEMA: &str = "gofree-report/5";
 
 fn u64_array(values: &[u64]) -> String {
     let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -66,8 +70,60 @@ fn metrics_json(m: &Metrics) -> String {
     out
 }
 
-/// Renders one run report as a JSON object.
+fn quantiles_json(q: &crate::service::Quantiles) -> String {
+    format!(
+        "{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+        q.p50, q.p90, q.p99, q.p999, q.max
+    )
+}
+
+/// Trims trailing zero buckets so the arrays stay short; the schema
+/// documents buckets as log₂ lower edges from index 0.
+fn hist_json(h: &minigo_runtime::Histogram<{ crate::service::SERVICE_BUCKETS }>) -> String {
+    let buckets = h.buckets();
+    let last = buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+    u64_array(&buckets[..last])
+}
+
+fn service_json(s: &crate::service::ServiceStats) -> String {
+    format!(
+        "{{\"requests\":{},\"checksum\":{},\"total_time\":{},\
+         \"latency\":{},\"queue\":{},\
+         \"latency_buckets\":{},\"service_time_buckets\":{},\"queue_buckets\":{},\
+         \"pause_minor_buckets\":{},\"pause_major_buckets\":{},\
+         \"gcs_minor\":{},\"gcs_major\":{},\"pause_max\":{},\"pause_ticks\":{},\
+         \"heap_hwm\":{},\"footprint_hwm\":{}}}",
+        s.requests,
+        s.checksum,
+        s.total_time,
+        quantiles_json(&s.latency_q),
+        quantiles_json(&s.queue_q),
+        hist_json(&s.latency),
+        hist_json(&s.service_time),
+        hist_json(&s.queue),
+        hist_json(&s.pause_minor),
+        hist_json(&s.pause_major),
+        s.pause_minor.count(),
+        s.pause_major.count(),
+        s.pause_max(),
+        s.pause_ticks(),
+        s.heap_hwm,
+        s.footprint_hwm,
+    )
+}
+
+/// Renders one run report as a JSON object (batch mode: the `"service"`
+/// section is `null`).
 pub fn report_json(report: &Report) -> String {
+    service_report_json(report, None)
+}
+
+/// Renders one run report as a JSON object, with the service-mode
+/// traffic stats inlined when the run came from the traffic harness.
+pub fn service_report_json(
+    report: &Report,
+    service: Option<&crate::service::ServiceStats>,
+) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
@@ -123,10 +179,15 @@ pub fn report_json(report: &Report) -> String {
         ),
         None => "null".to_string(),
     };
+    let service = match service {
+        Some(s) => service_json(s),
+        None => "null".to_string(),
+    };
     let _ = write!(
         out,
         "\"violations\":{},\"trace_events\":{trace_events},\"events_dropped\":{events_dropped},\
-         \"ic_hits\":{},\"ic_misses\":{},\"opt\":{opt},\"placement\":{placement}}}",
+         \"ic_hits\":{},\"ic_misses\":{},\"opt\":{opt},\"placement\":{placement},\
+         \"service\":{service}}}",
         report.violations.len(),
         report.ic_hits,
         report.ic_misses,
@@ -190,7 +251,8 @@ mod tests {
         let json = report_json(&report);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for needle in [
-            "\"schema\":\"gofree-report/4\"",
+            "\"schema\":\"gofree-report/5\"",
+            "\"service\":null",
             "\"collector\":\"go\"",
             "\"output\":\"hi \\\"there\\\"\\n\"",
             "\"alloced_bytes\":1024",

@@ -196,6 +196,18 @@ pub fn chrome_trace_json(trace: &Trace, phases: &[PhaseTime]) -> String {
                  \"pid\":1,\"tid\":1,\"ts\":{at},\"args\":{{\"leftover\":{leftover:?},\
                  \"footprint\":{footprint}}}}}"
             ),
+            TraceEvent::Request {
+                at,
+                id,
+                arrival,
+                start,
+            } => format!(
+                "{{\"name\":\"request {id}\",\"cat\":\"service\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":2,\"ts\":{start},\"dur\":{},\"args\":{{\"id\":{id},\
+                 \"arrival\":{arrival},\"queue\":{}}}}}",
+                at.saturating_sub(start),
+                start.saturating_sub(arrival),
+            ),
         };
         push(&mut out, &mut first, rendered);
     }

@@ -29,6 +29,7 @@
 pub mod clock;
 pub mod collector;
 pub mod heap;
+pub mod histogram;
 pub mod metrics;
 pub mod profile;
 pub mod rng;
@@ -40,10 +41,11 @@ pub mod trace;
 pub use clock::{Clock, CostModel};
 pub use collector::{Collector, CollectorKind, CycleKind, CycleOutcome, GcTrigger};
 pub use heap::{AllocEvents, Heap, Mspan, ObjAddr, SmallFree, SpanId, SweepOutcome};
+pub use histogram::{percentile_sorted, Histogram};
 pub use metrics::{BailReason, Category, FreeSource, Metrics};
 pub use profile::{Profile, SiteDrag, StackId, StackStat, StackTable, DRAG_BUCKETS, ROOT_STACK};
 pub use rng::SimRng;
-pub use runtime::{ConfigError, FreeOutcome, PoisonMode, Runtime, RuntimeConfig};
+pub use runtime::{ConfigError, FreeOutcome, Pause, PoisonMode, Runtime, RuntimeConfig};
 pub use shadow::{FreeCheck, ShadowHeap, ShadowViolation, ViolationKind};
 pub use sizeclass::{class_for, class_size, MAX_SMALL_SIZE, PAGE_SIZE};
 pub use trace::{ClassOccupancy, FreeStep, HeapSnapshot, Trace, TraceEvent, Tracer};

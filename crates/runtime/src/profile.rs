@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use crate::heap::ObjAddr;
+use crate::histogram::Histogram;
 use crate::metrics::Metrics;
 use crate::trace::{Trace, TraceEvent, TraceSiteId};
 
@@ -135,48 +136,29 @@ impl Default for StackTable {
 
 /// Number of log₂ drag buckets: bucket 0 holds drag 0, bucket `i ≥ 1`
 /// holds drags in `[2^(i-1), 2^i)` ticks, and the last bucket absorbs
-/// everything longer.
+/// everything longer (the [`Histogram`] bucketing rule).
 pub const DRAG_BUCKETS: usize = 24;
-
-/// The log₂ bucket a drag value falls into.
-fn drag_bucket(drag: u64) -> usize {
-    if drag == 0 {
-        0
-    } else {
-        ((u64::BITS - drag.leading_zeros()) as usize).min(DRAG_BUCKETS - 1)
-    }
-}
 
 /// Per-allocation-site lifetime ("drag") histogram: virtual ticks
 /// between allocation and reclamation, split by how the object died.
+/// The histograms carry the per-source count (`.count()`) and summed
+/// drag ticks (`.sum()`) that used to live in separate fields.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SiteDrag {
     /// The allocation site (`None` = runtime-internal allocations).
     pub site: Option<TraceSiteId>,
     /// Objects reclaimed by `tcfree`, bucketed by log₂ drag.
-    pub tcfree: [u64; DRAG_BUCKETS],
+    pub tcfree: Histogram<DRAG_BUCKETS>,
     /// Objects reclaimed by a GC sweep, bucketed by log₂ drag.
-    pub sweep: [u64; DRAG_BUCKETS],
-    /// Count and total drag ticks of the tcfree-reclaimed objects.
-    pub tcfree_count: u64,
-    /// Summed alloc→tcfree drag in virtual ticks.
-    pub tcfree_ticks: u64,
-    /// Count and total drag ticks of the GC-swept objects.
-    pub sweep_count: u64,
-    /// Summed alloc→sweep drag in virtual ticks.
-    pub sweep_ticks: u64,
+    pub sweep: Histogram<DRAG_BUCKETS>,
 }
 
 impl SiteDrag {
     fn new(site: Option<TraceSiteId>) -> Self {
         SiteDrag {
             site,
-            tcfree: [0; DRAG_BUCKETS],
-            sweep: [0; DRAG_BUCKETS],
-            tcfree_count: 0,
-            tcfree_ticks: 0,
-            sweep_count: 0,
-            sweep_ticks: 0,
+            tcfree: Histogram::new(),
+            sweep: Histogram::new(),
         }
     }
 }
@@ -312,10 +294,7 @@ impl Profile {
                     let d = drags
                         .entry(origin_site)
                         .or_insert_with(|| SiteDrag::new(origin_site));
-                    let drag = at.saturating_sub(born);
-                    d.tcfree[drag_bucket(drag)] += 1;
-                    d.tcfree_count += 1;
-                    d.tcfree_ticks += drag;
+                    d.tcfree.record(at.saturating_sub(born));
                 }
                 TraceEvent::FreeBail { stack, .. } => {
                     stats.entry(stack).or_default().bails += 1;
@@ -336,14 +315,12 @@ impl Profile {
                     let d = drags
                         .entry(origin_site)
                         .or_insert_with(|| SiteDrag::new(origin_site));
-                    let drag = at.saturating_sub(born);
-                    d.sweep[drag_bucket(drag)] += 1;
-                    d.sweep_count += 1;
-                    d.sweep_ticks += drag;
+                    d.sweep.record(at.saturating_sub(born));
                 }
                 TraceEvent::McacheFlush { .. }
                 | TraceEvent::GcStart { .. }
-                | TraceEvent::GcEnd { .. } => {}
+                | TraceEvent::GcEnd { .. }
+                | TraceEvent::Request { .. } => {}
                 TraceEvent::Finalize { .. } => {
                     // Objects still live would eventually be collected;
                     // they stay attributed to their allocating stacks.
@@ -480,12 +457,15 @@ mod tests {
 
     #[test]
     fn drag_buckets_are_log2() {
-        assert_eq!(drag_bucket(0), 0);
-        assert_eq!(drag_bucket(1), 1);
-        assert_eq!(drag_bucket(2), 2);
-        assert_eq!(drag_bucket(3), 2);
-        assert_eq!(drag_bucket(4), 3);
-        assert_eq!(drag_bucket(u64::MAX), DRAG_BUCKETS - 1);
+        assert_eq!(Histogram::<DRAG_BUCKETS>::bucket_of(0), 0);
+        assert_eq!(Histogram::<DRAG_BUCKETS>::bucket_of(1), 1);
+        assert_eq!(Histogram::<DRAG_BUCKETS>::bucket_of(2), 2);
+        assert_eq!(Histogram::<DRAG_BUCKETS>::bucket_of(3), 2);
+        assert_eq!(Histogram::<DRAG_BUCKETS>::bucket_of(4), 3);
+        assert_eq!(
+            Histogram::<DRAG_BUCKETS>::bucket_of(u64::MAX),
+            DRAG_BUCKETS - 1
+        );
     }
 
     #[test]
@@ -581,10 +561,13 @@ mod tests {
 
         // Drag: site 3 lived 20 ticks to tcfree, site 4 lived 38 to sweep.
         let d3 = p.sites.iter().find(|d| d.site == Some(3)).unwrap();
-        assert_eq!((d3.tcfree_count, d3.tcfree_ticks), (1, 20));
-        assert_eq!(d3.tcfree[drag_bucket(20)], 1);
+        assert_eq!((d3.tcfree.count(), d3.tcfree.sum()), (1, 20));
+        assert_eq!(
+            d3.tcfree.buckets()[Histogram::<DRAG_BUCKETS>::bucket_of(20)],
+            1
+        );
         let d4 = p.sites.iter().find(|d| d.site == Some(4)).unwrap();
-        assert_eq!((d4.sweep_count, d4.sweep_ticks), (1, 38));
+        assert_eq!((d4.sweep.count(), d4.sweep.sum()), (1, 38));
 
         let totals = p.totals();
         assert_eq!(totals.allocs, 2);

@@ -187,6 +187,22 @@ impl RuntimeConfig {
     }
 }
 
+/// One completed GC stop: when it ended and what it cost. The runtime
+/// records every cycle here unconditionally — the log is bounded by the
+/// cycle count and read by the service harness to attribute pauses to
+/// in-flight requests, without requiring full event tracing. Like the
+/// tracer, it is pure observation: no clock charges, no metrics, no RNG
+/// draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pause {
+    /// Virtual time the cycle completed.
+    pub at: u64,
+    /// Nursery-only or full-heap.
+    pub kind: CycleKind,
+    /// Virtual ticks the cycle cost (mark + sweep).
+    pub ticks: u64,
+}
+
 /// What a `tcfree` call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FreeOutcome {
@@ -224,6 +240,8 @@ pub struct Runtime {
     /// alloc/free/bail events ([`ROOT_STACK`] when no VM frame is
     /// active). Pure trace metadata: never read by the simulation.
     cur_stack: u32,
+    /// Every completed GC cycle's stop record, in order.
+    pauses: Vec<Pause>,
 }
 
 impl Runtime {
@@ -245,6 +263,7 @@ impl Runtime {
             live_objects: 0,
             tracer,
             cur_stack: ROOT_STACK,
+            pauses: Vec::new(),
         }
     }
 
@@ -576,6 +595,11 @@ impl Runtime {
         }
         let ticks = self.clock.now() - before;
         self.metrics.gc_ticks += ticks;
+        self.pauses.push(Pause {
+            at: self.clock.now(),
+            kind: cycle.kind,
+            ticks,
+        });
         if let Some(t) = &mut self.tracer {
             let at = self.clock.now();
             let mut swept = [0u64; 3];
@@ -644,6 +668,39 @@ impl Runtime {
     /// Total heap footprint in bytes (pages held).
     pub fn footprint(&self) -> u64 {
         footprint(&self.heap)
+    }
+
+    /// Every completed GC cycle's stop record, in completion order.
+    pub fn pauses(&self) -> &[Pause] {
+        &self.pauses
+    }
+
+    /// Advances the virtual clock to absolute time `t` (no-op when `t`
+    /// is in the past). Models a service worker sitting idle between
+    /// requests: no work is charged, and — pacing being purely
+    /// allocation-driven — no GC can trigger while idle, so the jump is
+    /// exactly observationally equivalent to waiting.
+    pub fn idle_until(&mut self, t: u64) {
+        let now = self.clock.now();
+        if t > now {
+            self.clock.charge(t - now);
+        }
+    }
+
+    /// Records a completed-request span ([`TraceEvent::Request`]) ending
+    /// now. A pure annotation for the chrome://tracing export: no-op
+    /// without tracing, ignored by [`Trace::fold`], invisible to every
+    /// observable.
+    pub fn trace_request(&mut self, id: u64, arrival: u64, start: u64) {
+        if let Some(t) = &mut self.tracer {
+            let at = self.clock.now();
+            t.record(TraceEvent::Request {
+                at,
+                id,
+                arrival,
+                start,
+            });
+        }
     }
 
     /// Test-only: force the GC-running window open.

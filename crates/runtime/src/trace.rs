@@ -203,6 +203,20 @@ pub enum TraceEvent {
         /// Final page-level footprint.
         footprint: u64,
     },
+    /// One completed service request (the service harness' span events).
+    /// Pure annotation: [`Trace::fold`] ignores it, so traces with and
+    /// without request spans reconcile against the same [`Metrics`].
+    Request {
+        /// Virtual timestamp (ticks) — the request's completion time.
+        at: u64,
+        /// Request index in arrival order.
+        id: u64,
+        /// When the request arrived (open-loop schedule time).
+        arrival: u64,
+        /// When the server started executing it (`≥ arrival`; the gap is
+        /// queueing delay).
+        start: u64,
+    },
 }
 
 impl TraceEvent {
@@ -218,7 +232,8 @@ impl TraceEvent {
             | TraceEvent::GcStart { at, .. }
             | TraceEvent::Sweep { at, .. }
             | TraceEvent::GcEnd { at, .. }
-            | TraceEvent::Finalize { at, .. } => at,
+            | TraceEvent::Finalize { at, .. }
+            | TraceEvent::Request { at, .. } => at,
         }
     }
 }
@@ -489,7 +504,9 @@ impl Trace {
                 // Per-object sweep detail; the fold counts the cycle's
                 // GcEnd totals instead, so sweeps don't double-count.
                 TraceEvent::Sweep { .. } => {}
-                TraceEvent::McacheFlush { .. } | TraceEvent::GcStart { .. } => {}
+                TraceEvent::McacheFlush { .. }
+                | TraceEvent::GcStart { .. }
+                | TraceEvent::Request { .. } => {}
                 TraceEvent::GcEnd {
                     swept, ticks, kind, ..
                 } => {

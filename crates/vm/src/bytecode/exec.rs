@@ -40,37 +40,94 @@ pub fn run_module(module: &Module, cfg: VmConfig) -> Result<RunOutcome> {
     }
     let mut vm = BVm::new(cfg, module);
     vm.run_function(module, module.main, Vec::new())?;
-    vm.rt.finalize();
-    let mut site_profile: Vec<SiteProfile> = vm
-        .site_profile
-        .iter()
-        .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
-        .collect();
-    site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
-    let violations = match vm.shadow.as_mut() {
-        Some(sh) => sh.take_violations(),
-        None => Vec::new(),
-    };
-    let mut trace = vm.rt.take_trace();
-    if let (Some(tr), Some(st)) = (trace.as_mut(), vm.stacks.take()) {
-        // The runtime only sees interned ids; the table that resolves
-        // them lives in the VM and rides along in the trace.
-        tr.stacks = st;
+    Ok(vm.finish())
+}
+
+/// A persistent bytecode execution session — the bytecode twin of
+/// [`crate::interp::Session`], driving the same call protocol the
+/// engine's internal calls use so session runs stay bit-identical
+/// across engines. See the tree-walk session for the contract.
+pub struct BSession<'m> {
+    module: &'m Module,
+    vm: BVm,
+}
+
+impl<'m> BSession<'m> {
+    /// Creates a session over a lowered (optionally optimized) module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidConfig`] when the runtime
+    /// configuration fails validation.
+    pub fn new(module: &'m Module, cfg: VmConfig) -> Result<Self> {
+        cfg.runtime.validate().map_err(ExecError::InvalidConfig)?;
+        Ok(BSession {
+            module,
+            vm: BVm::new(cfg, module),
+        })
     }
-    Ok(RunOutcome {
-        output: std::mem::take(&mut vm.output),
-        time: vm.rt.now(),
-        metrics: vm.rt.metrics().clone(),
-        steps: vm.steps,
-        site_profile,
-        violations,
-        trace,
-        collector: vm.rt.collector_kind(),
-        ic_hits: vm.ic_hits,
-        ic_misses: vm.ic_misses,
-        opt: None,
-        placement: None,
-    })
+
+    /// Calls a top-level function by name and returns its results.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NoFunc`] for an unknown name; otherwise whatever the
+    /// call itself raises.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Vec<Value>> {
+        let fid = self
+            .module
+            .funcs
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| ExecError::NoFunc(name.to_string()))?;
+        let want = self.module.funcs[fid].results.len() as u32;
+        let mut stack = args;
+        let nargs = stack.len();
+        self.vm
+            .call_on_stack(self.module, fid, &mut stack, nargs, want)?;
+        Ok(stack)
+    }
+
+    /// Roots `values` for the rest of the session (marked at every GC).
+    pub fn hold(&mut self, values: Vec<Value>) {
+        self.vm.held.extend(values);
+    }
+
+    /// Elapsed virtual time.
+    pub fn now(&self) -> u64 {
+        self.vm.rt.now()
+    }
+
+    /// Advances the virtual clock to absolute time `t` (idle waiting).
+    pub fn idle_until(&mut self, t: u64) {
+        self.vm.rt.idle_until(t);
+    }
+
+    /// Current live heap bytes.
+    pub fn heap_live(&self) -> u64 {
+        self.vm.rt.heap_live()
+    }
+
+    /// Current page-level heap footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.vm.rt.footprint()
+    }
+
+    /// Every completed GC cycle's stop record so far.
+    pub fn pauses(&self) -> &[minigo_runtime::Pause] {
+        self.vm.rt.pauses()
+    }
+
+    /// Records a completed-request trace span (no-op without tracing).
+    pub fn note_request(&mut self, id: u64, arrival: u64, start: u64) {
+        self.vm.rt.trace_request(id, arrival, start);
+    }
+
+    /// Ends the session and assembles the same [`RunOutcome`] a one-shot
+    /// [`run_module`] would produce.
+    pub fn finish(self) -> RunOutcome {
+        self.vm.finish()
+    }
 }
 
 /// A frame slot. `Empty` marks a not-yet-declared local; reading one is
@@ -131,6 +188,9 @@ struct BVm {
     ics: Vec<IcEntry>,
     ic_hits: u64,
     ic_misses: u64,
+    /// Session-held GC roots (see the tree-walk's `held`); always empty
+    /// in one-shot [`run_module`] executions.
+    held: Vec<Value>,
     output: String,
     steps: u64,
 }
@@ -224,12 +284,50 @@ impl BVm {
             ics: vec![IC_EMPTY; module.ic_slots as usize],
             ic_hits: 0,
             ic_misses: 0,
+            held: Vec::new(),
             output: String::new(),
             steps: 0,
         }
     }
 
     // ---- object accounting (mirrors the tree-walk's) ----
+
+    /// End-of-run accounting shared by [`run_module`] and
+    /// [`BSession::finish`]: finalizes the runtime and assembles the
+    /// report (mirrors the tree-walk's `finish`).
+    fn finish(mut self) -> RunOutcome {
+        self.rt.finalize();
+        let mut site_profile: Vec<SiteProfile> = self
+            .site_profile
+            .iter()
+            .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
+            .collect();
+        site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+        let violations = match self.shadow.as_mut() {
+            Some(sh) => sh.take_violations(),
+            None => Vec::new(),
+        };
+        let mut trace = self.rt.take_trace();
+        if let (Some(tr), Some(st)) = (trace.as_mut(), self.stacks.take()) {
+            // The runtime only sees interned ids; the table that resolves
+            // them lives in the VM and rides along in the trace.
+            tr.stacks = st;
+        }
+        RunOutcome {
+            output: std::mem::take(&mut self.output),
+            time: self.rt.now(),
+            metrics: self.rt.metrics().clone(),
+            steps: self.steps,
+            site_profile,
+            violations,
+            trace,
+            collector: self.rt.collector_kind(),
+            ic_hits: self.ic_hits,
+            ic_misses: self.ic_misses,
+            opt: None,
+            placement: None,
+        }
+    }
 
     fn new_obj(&mut self, size: u64, cat: Category) -> ObjId {
         self.new_obj_at(size, cat, None)
@@ -330,6 +428,9 @@ impl BVm {
                     mark_value(v, &self.objects, &mut marked, &mut seen);
                 }
             }
+        }
+        for v in &self.held {
+            mark_value(v, &self.objects, &mut marked, &mut seen);
         }
         let swept = self.rt.collect(&marked);
         for (addr, _, _) in &swept.freed {

@@ -13,7 +13,7 @@ mod ir;
 mod lower;
 mod opt;
 
-pub use exec::run_module;
+pub use exec::{run_module, BSession};
 pub use ir::{BFunc, Const, Instr, Module};
 pub use lower::lower;
 pub use opt::{optimize, OptStats};

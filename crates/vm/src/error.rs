@@ -28,6 +28,9 @@ pub enum ExecError {
     StackOverflow,
     /// The program has no `main` function.
     NoMain,
+    /// A session call named a function the program does not define (the
+    /// service harness' `setup`/`handle` contract).
+    NoFunc(String),
     /// The runtime configuration failed validation before the run
     /// started (e.g. GOGC=0 with GC enabled, a zero assist divisor, or a
     /// generational nursery at or above the heap goal).
@@ -54,6 +57,7 @@ impl fmt::Display for ExecError {
             ExecError::StepLimit => write!(f, "step limit exceeded"),
             ExecError::StackOverflow => write!(f, "stack overflow"),
             ExecError::NoMain => write!(f, "program has no func main()"),
+            ExecError::NoFunc(name) => write!(f, "program has no func {name}()"),
             ExecError::InvalidConfig(err) => write!(f, "invalid runtime configuration: {err}"),
             ExecError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             ExecError::Internal(what) => write!(f, "internal error: {what}"),

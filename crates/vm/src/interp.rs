@@ -152,37 +152,104 @@ pub fn run(
     let main = program.func("main").ok_or(ExecError::NoMain)?;
     let mut vm = Vm::new(program, res, types, analysis, cfg);
     vm.call_function(main.id, Vec::new())?;
-    vm.rt.finalize();
-    let mut site_profile: Vec<SiteProfile> = vm
-        .site_profile
-        .iter()
-        .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
-        .collect();
-    site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
-    let violations = match vm.shadow.as_mut() {
-        Some(sh) => sh.take_violations(),
-        None => Vec::new(),
-    };
-    let mut trace = vm.rt.take_trace();
-    if let (Some(tr), Some(st)) = (trace.as_mut(), vm.stacks.take()) {
-        // The runtime only sees interned ids; the table that resolves
-        // them lives in the VM and rides along in the trace.
-        tr.stacks = st;
+    Ok(vm.finish())
+}
+
+/// A persistent tree-walk execution session: one runtime, one heap, one
+/// virtual clock, driven through repeated function calls instead of a
+/// single `main`. The service harness uses it to execute request
+/// handlers against state that survives between calls — GC pacing,
+/// tcfree bail-outs, and heap growth accumulate across requests exactly
+/// as they would inside one long-running program.
+///
+/// Values returned by one call may be passed back into later calls; to
+/// keep them (and everything reachable from them) alive across the GC
+/// cycles in between, root them with [`Session::hold`].
+pub struct Session<'p> {
+    vm: Vm<'p>,
+}
+
+impl<'p> Session<'p> {
+    /// Creates a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidConfig`] when the runtime
+    /// configuration fails validation.
+    pub fn new(
+        program: &'p Program,
+        res: &'p Resolution,
+        types: &'p TypeInfo,
+        analysis: &'p Analysis,
+        cfg: VmConfig,
+    ) -> Result<Self> {
+        cfg.runtime.validate().map_err(ExecError::InvalidConfig)?;
+        Ok(Session {
+            vm: Vm::new(program, res, types, analysis, cfg),
+        })
     }
-    Ok(RunOutcome {
-        output: std::mem::take(&mut vm.output),
-        time: vm.rt.now(),
-        metrics: vm.rt.metrics().clone(),
-        steps: vm.steps,
-        site_profile,
-        violations,
-        trace,
-        collector: vm.rt.collector_kind(),
-        ic_hits: 0,
-        ic_misses: 0,
-        opt: None,
-        placement: None,
-    })
+
+    /// Calls a top-level function by name and returns its results. The
+    /// call costs exactly what the same call would cost inside a
+    /// program: both engines drive it through their ordinary call
+    /// protocol, so session runs stay bit-identical across engines.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NoFunc`] for an unknown name; otherwise whatever the
+    /// call itself raises.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Vec<Value>> {
+        let func = self
+            .vm
+            .program
+            .func(name)
+            .ok_or_else(|| ExecError::NoFunc(name.to_string()))?;
+        self.vm.call_function(func.id, args)
+    }
+
+    /// Roots `values` for the rest of the session: they (and everything
+    /// reachable from them) survive every GC cycle until [`Session::finish`].
+    pub fn hold(&mut self, values: Vec<Value>) {
+        self.vm.held.extend(values);
+    }
+
+    /// Elapsed virtual time.
+    pub fn now(&self) -> u64 {
+        self.vm.rt.now()
+    }
+
+    /// Advances the virtual clock to absolute time `t` (idle waiting; see
+    /// [`Runtime::idle_until`](minigo_runtime::Runtime::idle_until)).
+    pub fn idle_until(&mut self, t: u64) {
+        self.vm.rt.idle_until(t);
+    }
+
+    /// Current live heap bytes.
+    pub fn heap_live(&self) -> u64 {
+        self.vm.rt.heap_live()
+    }
+
+    /// Current page-level heap footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.vm.rt.footprint()
+    }
+
+    /// Every completed GC cycle's stop record so far.
+    pub fn pauses(&self) -> &[minigo_runtime::Pause] {
+        self.vm.rt.pauses()
+    }
+
+    /// Records a completed-request trace span (no-op without tracing).
+    pub fn note_request(&mut self, id: u64, arrival: u64, start: u64) {
+        self.vm.rt.trace_request(id, arrival, start);
+    }
+
+    /// Ends the session: finalizes the runtime (leftover objects count
+    /// toward the GC columns, held state included) and assembles the
+    /// same [`RunOutcome`] a one-shot [`run`] would produce.
+    pub fn finish(self) -> RunOutcome {
+        self.vm.finish()
+    }
 }
 
 /// The runtime entry point a [`FreeSource`] corresponds to (table 4) —
@@ -253,6 +320,10 @@ struct Vm<'p> {
     in_free_batch: bool,
     /// The shadow-heap sanitizer, present when `cfg.sanitize` is on.
     shadow: Option<ShadowHeap>,
+    /// Session-held GC roots: values a [`Session`] keeps alive across
+    /// calls (service state returned by `setup` and passed back into
+    /// every `handle`). Always empty in one-shot [`run`] executions.
+    held: Vec<Value>,
     output: String,
     steps: u64,
 }
@@ -291,8 +362,45 @@ impl<'p> Vm<'p> {
             cur_stack: minigo_runtime::ROOT_STACK,
             in_free_batch: false,
             shadow,
+            held: Vec::new(),
             output: String::new(),
             steps: 0,
+        }
+    }
+
+    /// End-of-run accounting shared by [`run`] and [`Session::finish`]:
+    /// finalizes the runtime and assembles the report.
+    fn finish(mut self) -> RunOutcome {
+        self.rt.finalize();
+        let mut site_profile: Vec<SiteProfile> = self
+            .site_profile
+            .iter()
+            .map(|(&site, &(count, bytes))| SiteProfile { site, count, bytes })
+            .collect();
+        site_profile.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+        let violations = match self.shadow.as_mut() {
+            Some(sh) => sh.take_violations(),
+            None => Vec::new(),
+        };
+        let mut trace = self.rt.take_trace();
+        if let (Some(tr), Some(st)) = (trace.as_mut(), self.stacks.take()) {
+            // The runtime only sees interned ids; the table that resolves
+            // them lives in the VM and rides along in the trace.
+            tr.stacks = st;
+        }
+        RunOutcome {
+            output: std::mem::take(&mut self.output),
+            time: self.rt.now(),
+            metrics: self.rt.metrics().clone(),
+            steps: self.steps,
+            site_profile,
+            violations,
+            trace,
+            collector: self.rt.collector_kind(),
+            ic_hits: 0,
+            ic_misses: 0,
+            opt: None,
+            placement: None,
         }
     }
 
@@ -448,6 +556,9 @@ impl<'p> Vm<'p> {
                     mark_value(v, &self.objects, &mut marked, &mut seen);
                 }
             }
+        }
+        for v in &self.held {
+            mark_value(v, &self.objects, &mut marked, &mut seen);
         }
         let swept = self.rt.collect(&marked);
         for (addr, _, _) in &swept.freed {

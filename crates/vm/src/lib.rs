@@ -30,7 +30,7 @@ pub mod fxhash;
 pub mod interp;
 pub mod value;
 
-pub use bytecode::{lower, optimize, run_module, Const, Module, OptStats};
+pub use bytecode::{lower, optimize, run_module, BSession, Const, Module, OptStats};
 pub use error::ExecError;
-pub use interp::{run, RunOutcome, SiteProfile, VmConfig};
+pub use interp::{run, RunOutcome, Session, SiteProfile, VmConfig};
 pub use value::{Key, MapData, MapVal, ObjId, PtrVal, SliceVal, Value};

@@ -18,5 +18,6 @@ pub mod fuzzgen;
 pub mod micro;
 pub mod programs;
 pub mod regressions;
+pub mod service;
 
 pub use programs::{all, by_name, Scale, Workload};

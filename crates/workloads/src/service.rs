@@ -1,0 +1,221 @@
+//! Service workloads: MiniGo programs obeying the traffic-harness
+//! contract — `func setup() *Svc` builds the retained state once, and
+//! `func handle(s *Svc, req int) int` executes one request.
+//!
+//! Per-request allocation churn mirrors the table 8/9 batch mixes:
+//!
+//! * `kv` — badger-style store: per-request scratch value buffers that
+//!   die at the end of the request (tcfree's bread and butter) behind a
+//!   long-lived map + value log.
+//! * `jsonsvc` — json-style parse per request: every request builds an
+//!   object map and a raw buffer, retains them in a rolling window, and
+//!   the rest is garbage (the paper's highest-benefit profile).
+//! * `rotate` — the phase-change scenario: a KV request mix whose
+//!   working set **rotates** every 256 requests, re-allocating the
+//!   retained slab so the old generation floats. Paired with the burst
+//!   arrival shape, this is where GOGC pacing (goal set in the calm
+//!   phase) falls behind and compiler-inserted freeing wins on p999.
+//!
+//! Each program also carries a small standalone `main` so the same
+//! source compiles, runs, and differentials like any batch workload.
+
+use crate::programs::{Scale, Workload};
+
+/// All service scenarios at the given scale. `scale` sizes the
+/// standalone `main` loop only; the harness drives `handle` directly
+/// and decides its own request count.
+pub fn scenarios(scale: Scale) -> Vec<Workload> {
+    vec![kv(scale), jsonsvc(scale), rotate(scale)]
+}
+
+/// Looks up one scenario by name.
+pub fn scenario(name: &str, scale: Scale) -> Option<Workload> {
+    scenarios(scale).into_iter().find(|w| w.name == name)
+}
+
+fn standalone_main(requests: u64) -> String {
+    format!(
+        r#"
+func main() {{
+    s := setup()
+    checksum := 0
+    for req := 0; req < {requests}; req += 1 {{
+        checksum += handle(s, req)
+    }}
+    print(checksum)
+}}
+"#
+    )
+}
+
+/// Badger-style KV service: long-lived maps + value log, short-lived
+/// per-request encode/decode scratch.
+pub fn kv(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 60,
+        Scale::Full => 2000,
+    };
+    let source = format!(
+        r#"
+type Svc struct {{
+    data map[int]int
+    idx map[int]int
+    vlog [][]int
+}}
+
+func setup() *Svc {{
+    s := &Svc{{make(map[int]int), make(map[int]int), make([][]int, 32)}}
+    for i := 0; i < 32; i += 1 {{
+        s.vlog[i] = make([]int, 16)
+    }}
+    return s
+}}
+
+func encode(req int) []int {{
+    v := make([]int, 48+req%32)
+    for i := 0; i < len(v); i += 4 {{
+        v[i] = req*31 + i
+    }}
+    return v
+}}
+
+func digest(v []int) int {{
+    h := 0
+    for i := 0; i < len(v); i += 4 {{
+        h += v[i]
+    }}
+    return h % 65536
+}}
+
+func handle(s *Svc, req int) int {{
+    body := encode(req)
+    h := digest(body)
+    k := req % 512
+    if req%2 == 0 {{
+        s.data[k] = h
+    }} else {{
+        s.idx[k] = h
+    }}
+    stored := make([]int, 16)
+    for i := 0; i < 16; i += 1 {{
+        stored[i] = body[i*2]
+    }}
+    s.vlog[req%32] = stored
+    return h + s.data[k%256] + s.idx[k%256]
+}}
+{main}"#,
+        main = standalone_main(n)
+    );
+    Workload { name: "kv", source }
+}
+
+/// Json-style parse service: per-request object map + raw buffer kept
+/// in a rolling window; everything older is garbage.
+pub fn jsonsvc(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 40,
+        Scale::Full => 1200,
+    };
+    let source = format!(
+        r#"
+type Svc struct {{
+    window []map[int]int
+    texts [][]int
+    served int
+}}
+
+func setup() *Svc {{
+    return &Svc{{make([]map[int]int, 16), make([][]int, 16), 0}}
+}}
+
+func parse(req int) (map[int]int, []int) {{
+    fields := 40 + req%24
+    obj := make(map[int]int)
+    for f := 0; f < fields; f += 1 {{
+        obj[f] = req*31 + f
+    }}
+    raw := make([]int, fields*4)
+    for i := 0; i < len(raw); i += 4 {{
+        raw[i] = req + i
+    }}
+    return obj, raw
+}}
+
+func handle(s *Svc, req int) int {{
+    obj, raw := parse(req)
+    s.window[req%16] = obj
+    s.texts[req%16] = raw
+    s.served += 1
+    return obj[3] + raw[4] + len(obj)
+}}
+{main}"#,
+        main = standalone_main(n)
+    );
+    Workload {
+        name: "jsonsvc",
+        source,
+    }
+}
+
+/// Phase-change service: KV request mix whose retained slab rotates
+/// every 256 requests, floating the old working set until a full GC.
+pub fn rotate(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 70,
+        Scale::Full => 1600,
+    };
+    let source = format!(
+        r#"
+type Svc struct {{
+    slab [][]int
+    hot map[int]int
+    epoch int
+}}
+
+func freshSlab(epoch int) [][]int {{
+    slab := make([][]int, 24)
+    for i := 0; i < 24; i += 1 {{
+        row := make([]int, 96)
+        for j := 0; j < 96; j += 8 {{
+            row[j] = epoch*17 + i + j
+        }}
+        slab[i] = row
+    }}
+    return slab
+}}
+
+func setup() *Svc {{
+    return &Svc{{freshSlab(0), make(map[int]int), 0}}
+}}
+
+func scratch(req int) []int {{
+    v := make([]int, 40+req%24)
+    for i := 0; i < len(v); i += 4 {{
+        v[i] = req * 13
+    }}
+    return v
+}}
+
+func handle(s *Svc, req int) int {{
+    if req%256 == 0 {{
+        s.epoch += 1
+        s.slab = freshSlab(s.epoch)
+        s.hot = make(map[int]int)
+    }}
+    v := scratch(req)
+    h := 0
+    for i := 0; i < len(v); i += 4 {{
+        h += v[i]
+    }}
+    s.hot[req%384] = h
+    row := s.slab[req%24]
+    return h%4096 + row[req%96] + s.hot[req%128]
+}}
+{main}"#,
+        main = standalone_main(n)
+    );
+    Workload {
+        name: "rotate",
+        source,
+    }
+}

@@ -16,7 +16,7 @@ cargo build --workspace --release
 mkdir -p results
 for bin in table3 table7 table8 table9 fig10 fig11 compile_speed \
            robustness ablation inlining batching gogc_sweep summary fuzz \
-           audit trace profile liveness collectors; do
+           audit trace profile liveness collectors service; do
   echo "== $bin =="
   { echo "$HEADER"
     cargo run --release -q -p gofree-bench --bin "$bin" -- \

@@ -180,8 +180,8 @@ fn per_site_drag_is_non_increasing_under_lastuse() {
                 .iter()
                 .filter_map(|d| {
                     let site = d.site?;
-                    (d.tcfree_count > 0)
-                        .then(|| (site, d.tcfree_ticks as f64 / d.tcfree_count as f64))
+                    (d.tcfree.count() > 0)
+                        .then(|| (site, d.tcfree.sum() as f64 / d.tcfree.count() as f64))
                 })
                 .collect()
         };

@@ -71,8 +71,8 @@ fn run_profiled(
     // Drag histograms cover exactly the frees and sweeps that happened.
     let (mut tcfreed, mut swept) = (0u64, 0u64);
     for d in &profile.sites {
-        tcfreed += d.tcfree_count;
-        swept += d.sweep_count;
+        tcfreed += d.tcfree.count();
+        swept += d.sweep.count();
     }
     let totals = profile.totals();
     assert_eq!(tcfreed, totals.frees, "{label} ({setting}): drag vs frees");
